@@ -1,0 +1,103 @@
+// Command silica-trace generates and characterizes synthetic cloud
+// archival workloads: the Figure 1 and Figure 2 statistics, and
+// JSON-exported read traces for the simulator.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"silica/internal/experiments"
+	"silica/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "", "characterization to print: 1a, 1b, 1c, 2 (empty = all)")
+	gen := flag.String("generate", "", "generate a trace instead: typical, iops, or volume")
+	out := flag.String("o", "-", "output file for -generate (default stdout)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	platters := flag.Int("platters", 4000, "platters in the target library")
+	duration := flag.Float64("hours", 12, "core trace duration in hours")
+	zipf := flag.Float64("zipf", 0, "zipf skew exponent (0 = uniform)")
+	flag.Parse()
+
+	if *gen != "" {
+		generate(*gen, *out, *seed, *platters, *duration, *zipf)
+		return
+	}
+	if *fig == "" || *fig == "1a" {
+		fmt.Println(experiments.Fig1a(*seed))
+	}
+	if *fig == "" || *fig == "1b" {
+		fmt.Println(experiments.Fig1b(200000, *seed))
+	}
+	if *fig == "" || *fig == "1c" {
+		fmt.Println(experiments.Fig1c(*seed))
+	}
+	if *fig == "" || *fig == "2" {
+		fmt.Println(experiments.Fig2(*seed))
+	}
+}
+
+type jsonRequest struct {
+	ID         int64   `json:"id"`
+	Platter    int64   `json:"platter"`
+	StartTrack int     `json:"start_track"`
+	TrackCount int     `json:"track_count"`
+	Bytes      int64   `json:"bytes"`
+	Arrival    float64 `json:"arrival_sec"`
+}
+
+func generate(profile, out string, seed uint64, platters int, hours, zipf float64) {
+	var p workload.Profile
+	switch profile {
+	case "typical":
+		p = workload.Typical
+	case "iops":
+		p = workload.IOPS
+	case "volume":
+		p = workload.Volume
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", profile)
+		os.Exit(1)
+	}
+	tr, err := workload.Generate(workload.TraceConfig{
+		Profile:       p,
+		Duration:      hours * 3600,
+		Warmup:        hours * 300,
+		Cooldown:      hours * 300,
+		Platters:      platters,
+		TracksPerFile: workload.TracksFor(10e6),
+		TrackBytes:    10e6,
+		ZipfSkew:      zipf,
+		Seed:          seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	for _, r := range tr.Requests {
+		if err := enc.Encode(jsonRequest{
+			ID: int64(r.ID), Platter: int64(r.Platter), StartTrack: r.StartTrack,
+			TrackCount: r.TrackCount, Bytes: r.Bytes, Arrival: r.Arrival,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d requests (core window %.0f-%.0f s)\n",
+		len(tr.Requests), tr.CoreStart, tr.CoreEnd)
+}

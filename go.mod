@@ -1,0 +1,3 @@
+module silica
+
+go 1.22

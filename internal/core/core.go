@@ -1,0 +1,190 @@
+// Package core is the public facade of the Silica reproduction: one
+// import that exposes the storage service (the real-bytes data path:
+// encryption, LDPC, voxel channel, three-level network coding,
+// verification, crypto-shredding), the library digital twin (the
+// discrete-event performance model of §7), and the disaggregated
+// decode stack. Examples and tools build on this package; the
+// subsystems remain importable individually for finer control.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"silica/internal/controller"
+	"silica/internal/decode"
+	"silica/internal/library"
+	"silica/internal/media"
+	"silica/internal/nc"
+	"silica/internal/service"
+	"silica/internal/sim"
+	"silica/internal/stats"
+	"silica/internal/voxel"
+	"silica/internal/workload"
+)
+
+// Config assembles a Silica system.
+type Config struct {
+	// Service is the data-plane configuration (real codec, in-memory
+	// glass).
+	Service service.Config
+	// Library is the performance digital twin configuration.
+	Library library.Config
+	// Decode is the decode-stack configuration.
+	Decode decode.Config
+}
+
+// DefaultConfig returns a tiny-geometry data plane, a paper-scale
+// digital twin, and a default decode stack.
+func DefaultConfig() Config {
+	return Config{
+		Service: service.DefaultConfig(),
+		Library: library.DefaultConfig(),
+		Decode:  decode.DefaultConfig(),
+	}
+}
+
+// System is a running Silica instance.
+type System struct {
+	Service *service.Service
+	Library *library.Library
+	Decode  *decode.Stack
+	decSim  *sim.Simulator
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	svc, err := service.New(cfg.Service)
+	if err != nil {
+		return nil, fmt.Errorf("core: service: %w", err)
+	}
+	lib, err := library.New(cfg.Library)
+	if err != nil {
+		return nil, fmt.Errorf("core: library: %w", err)
+	}
+	decSim := sim.New()
+	dec, err := decode.New(decSim, cfg.Decode)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	return &System{Service: svc, Library: lib, Decode: dec, decSim: decSim}, nil
+}
+
+// Put stores a file (encrypt + stage). Flush makes it durable.
+func (s *System) Put(account, name string, data []byte) (int, error) {
+	return s.Service.Put(account, name, data)
+}
+
+// Get reads a file back through the full recovery hierarchy.
+func (s *System) Get(account, name string) ([]byte, error) {
+	return s.Service.Get(account, name)
+}
+
+// Delete crypto-shreds a file.
+func (s *System) Delete(account, name string) error {
+	return s.Service.Delete(account, name)
+}
+
+// Flush drains staging onto verified glass platters.
+func (s *System) Flush() error {
+	return s.Service.Flush()
+}
+
+// SimulateTrace runs a workload trace through the library digital twin
+// and returns the completion-time sample of core-interval requests.
+func (s *System) SimulateTrace(tr *workload.Trace) *stats.Sample {
+	core := stats.NewSample()
+	for _, r := range tr.Requests {
+		if tr.InCore(r) {
+			r := r
+			r.Done = func(t float64) { core.Add(t - r.Arrival) }
+		}
+	}
+	reqs := make([]*controller.Request, len(tr.Requests))
+	copy(reqs, tr.Requests)
+	s.Library.RunTrace(reqs, tr.CoreEnd)
+	return core
+}
+
+// DecodeOutcome summarizes an end-to-end run where every completed
+// library read is pushed through the decode stack (§3.2: decode is
+// disaggregated, so read completion and decode completion are separate
+// events; §7.2 excludes decode from completion time but notes urgent
+// submission for reads that finish near the SLO).
+type DecodeOutcome struct {
+	ReadTails   *stats.Sample // library completion times
+	DecodeTails *stats.Sample // read + decode completion times
+	Missed      int           // decode SLO misses
+	PeakWorkers int
+}
+
+// SimulateTraceWithDecode runs the trace through the library and feeds
+// each completed read to the decode stack with the given SLO. Reads
+// completing within urgentWindow of the SLO are submitted urgent.
+func (s *System) SimulateTraceWithDecode(tr *workload.Trace, sloSeconds, urgentWindow float64) DecodeOutcome {
+	out := DecodeOutcome{ReadTails: stats.NewSample(), DecodeTails: stats.NewSample()}
+	const sectorBytes = 100_000.0
+	// Collect read completions during the library run, then replay
+	// them into the decode stack's own clock in completion order.
+	type pending struct {
+		at  float64
+		job *decode.Job
+	}
+	var queue []pending
+	var jobID int64
+	for _, r := range tr.Requests {
+		if !tr.InCore(r) {
+			continue
+		}
+		r := r
+		r.Done = func(t float64) {
+			readLatency := t - r.Arrival
+			out.ReadTails.Add(readLatency)
+			jobID++
+			arrival := r.Arrival
+			queue = append(queue, pending{at: t, job: &decode.Job{
+				ID:        jobID,
+				Sectors:   int(float64(r.Bytes)/sectorBytes) + 1,
+				Submitted: t,
+				Deadline:  arrival + sloSeconds,
+				Urgent:    readLatency > sloSeconds-urgentWindow,
+				Done: func(dt float64) {
+					out.DecodeTails.Add(dt - arrival)
+				},
+			}})
+		}
+	}
+	reqs := make([]*controller.Request, len(tr.Requests))
+	copy(reqs, tr.Requests)
+	s.Library.RunTrace(reqs, tr.CoreEnd)
+	sort.Slice(queue, func(i, j int) bool { return queue[i].at < queue[j].at })
+	for _, p := range queue {
+		s.decSim.RunUntil(p.at)
+		s.Decode.Submit(p.job)
+	}
+	s.decSim.Run()
+	m := s.Decode.Metrics()
+	out.Missed = m.MissedDeadlines
+	out.PeakWorkers = m.PeakWorkers
+	return out
+}
+
+// Re-exported identifiers so casual users need only this package.
+type (
+	// PlatterID identifies a glass platter.
+	PlatterID = media.PlatterID
+	// Request is a library read request.
+	Request = controller.Request
+)
+
+// Convenience constructors for common subsystem configurations.
+var (
+	// TinyGeometry is the in-memory full-codec platter model.
+	TinyGeometry = media.TinyGeometry
+	// DefaultGeometry is the paper-scale 2 TB platter model.
+	DefaultGeometry = media.DefaultGeometry
+	// DefaultChannel is the calibrated optical channel.
+	DefaultChannel = voxel.DefaultChannel
+	// NewHierarchy builds the three-level erasure-coding hierarchy.
+	NewHierarchy = nc.NewHierarchy
+)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"silica/internal/workload"
+)
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox, archived for a millennium")
+	if _, err := sys.Put("tenant", "fox.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Get("tenant", "fox.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := sys.Delete("tenant", "fox.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Get("tenant", "fox.txt"); err == nil {
+		t.Fatal("deleted file readable")
+	}
+}
+
+func TestSystemSimulateTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Library.Platters = 400
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(workload.TraceConfig{
+		Profile:       workload.Typical,
+		Duration:      1800,
+		Platters:      400,
+		TracksPerFile: workload.TracksFor(10e6),
+		TrackBytes:    10e6,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := sys.SimulateTrace(tr)
+	if sample.N() == 0 {
+		t.Fatal("no core requests completed")
+	}
+	if sample.P999() <= 0 {
+		t.Fatal("degenerate completion times")
+	}
+}
+
+func TestBadConfigSurfacesSubsystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Library.Platters = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad library config accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Service.SetInfo = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad service config accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Decode.SectorSecs = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad decode config accepted")
+	}
+}

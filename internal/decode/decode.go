@@ -1,0 +1,304 @@
+// Package decode models Silica's disaggregated decode stack (§3.2):
+// the microservice fleet that turns read-drive images into bits. Key
+// properties reproduced from the paper: it is elastic in resource
+// usage (worker count follows the backlog), supports SLOs from seconds
+// to hours, exploits long SLOs to time-shift processing into the
+// cheapest compute/energy windows, and hot-swaps the ML model without
+// touching read-drive firmware.
+package decode
+
+import (
+	"container/heap"
+	"fmt"
+
+	"silica/internal/sim"
+)
+
+// Job is one decode request: the sectors of one read, with an SLO
+// deadline.
+type Job struct {
+	ID        int64
+	Sectors   int
+	Submitted float64
+	Deadline  float64 // absolute virtual time
+	// Urgent jobs (reads completing close to the storage SLO, §7.2)
+	// bypass time shifting.
+	Urgent bool
+	Done   func(completed float64)
+
+	started bool
+	idx     int
+}
+
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Urgent != h[j].Urgent {
+		return h[i].Urgent
+	}
+	return h[i].Deadline < h[j].Deadline
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.idx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.idx = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Config parameterizes the stack.
+type Config struct {
+	// SectorSecs is per-sector decode time on one worker for the
+	// initial model version.
+	SectorSecs float64
+	// Worker fleet bounds (resource proportionality: scale to zero
+	// when idle is allowed by MinWorkers=0).
+	MinWorkers, MaxWorkers int
+	// ScaleEvery is the autoscaler period, seconds.
+	ScaleEvery float64
+	// TargetBacklog is the backlog (seconds of work per worker) the
+	// autoscaler aims for.
+	TargetBacklog float64
+	// EnergyPrice maps virtual time to a relative compute price;
+	// non-urgent jobs with slack defer while the price exceeds
+	// PriceThreshold. Nil disables time shifting.
+	EnergyPrice    func(t float64) float64
+	PriceThreshold float64
+}
+
+// DefaultConfig returns a stack tuned for 100 kB sectors: tens of
+// milliseconds of accelerator time each.
+func DefaultConfig() Config {
+	return Config{
+		SectorSecs:     0.05,
+		MinWorkers:     0,
+		MaxWorkers:     64,
+		ScaleEvery:     60,
+		TargetBacklog:  300,
+		PriceThreshold: 1.5,
+	}
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Completed       int
+	MissedDeadlines int
+	WorkerSeconds   float64
+	EnergyCost      float64 // integral of workers x price
+	PeakWorkers     int
+	Deferred        int // scheduling passes that deferred work on price
+}
+
+// Stack is the decode service.
+type Stack struct {
+	sim   *sim.Simulator
+	cfg   Config
+	queue jobHeap
+
+	sectorSecs float64
+	model      string
+
+	workers     int
+	busyWorkers int
+	lastAccount float64
+	metrics     Metrics
+	scaling     bool
+}
+
+// New builds a stack bound to a simulator.
+func New(s *sim.Simulator, cfg Config) (*Stack, error) {
+	if cfg.SectorSecs <= 0 || cfg.MaxWorkers < 1 || cfg.MinWorkers < 0 ||
+		cfg.MinWorkers > cfg.MaxWorkers || cfg.ScaleEvery <= 0 || cfg.TargetBacklog <= 0 {
+		return nil, fmt.Errorf("decode: invalid config %+v", cfg)
+	}
+	st := &Stack{
+		sim:        s,
+		cfg:        cfg,
+		sectorSecs: cfg.SectorSecs,
+		model:      "unet-v1",
+		workers:    cfg.MinWorkers,
+	}
+	return st, nil
+}
+
+// Model reports the active decoder model version.
+func (s *Stack) Model() string { return s.model }
+
+// Workers reports the current fleet size.
+func (s *Stack) Workers() int { return s.workers }
+
+// Metrics returns a snapshot of the collected metrics.
+func (s *Stack) Metrics() Metrics { return s.metrics }
+
+// SwapModel deploys a new decoder model: the per-sector cost changes
+// for subsequently started jobs, with no read-drive involvement —
+// "the ML model can be updated as it evolves without the need for
+// firmware updates to the read drives" (§3.2).
+func (s *Stack) SwapModel(version string, sectorSecs float64) error {
+	if sectorSecs <= 0 {
+		return fmt.Errorf("decode: model %q has non-positive cost", version)
+	}
+	s.model = version
+	s.sectorSecs = sectorSecs
+	return nil
+}
+
+// Submit enqueues a job and starts the scheduler loop.
+func (s *Stack) Submit(j *Job) {
+	heap.Push(&s.queue, j)
+	s.ensureScaling()
+	s.sim.Schedule(0, s.schedule)
+}
+
+func (s *Stack) ensureScaling() {
+	if s.scaling {
+		return
+	}
+	s.scaling = true
+	s.accountTo(s.sim.Now())
+	// React to the first job immediately; ticks take over from there.
+	s.sim.Schedule(0, s.autoscale)
+	var tick func()
+	tick = func() {
+		s.accountTo(s.sim.Now())
+		s.autoscale()
+		if len(s.queue) > 0 || s.busyWorkers > 0 {
+			s.sim.Schedule(s.cfg.ScaleEvery, tick)
+			return
+		}
+		// Idle: scale to the floor and stop ticking (resource
+		// proportionality — no load, no events, no cost).
+		s.setWorkers(s.cfg.MinWorkers)
+		s.scaling = false
+	}
+	s.sim.Schedule(s.cfg.ScaleEvery, tick)
+}
+
+// backlogSecs is the queued work in worker-seconds.
+func (s *Stack) backlogSecs() float64 {
+	var w float64
+	for _, j := range s.queue {
+		w += float64(j.Sectors) * s.sectorSecs
+	}
+	return w
+}
+
+func (s *Stack) autoscale() {
+	backlog := s.backlogSecs()
+	target := int(backlog/s.cfg.TargetBacklog) + s.busyWorkers
+	if backlog > 0 && target < 1 {
+		target = 1 // never starve a non-empty queue
+	}
+	if target < s.cfg.MinWorkers {
+		target = s.cfg.MinWorkers
+	}
+	if target > s.cfg.MaxWorkers {
+		target = s.cfg.MaxWorkers
+	}
+	if target < s.busyWorkers {
+		target = s.busyWorkers
+	}
+	s.setWorkers(target)
+	s.sim.Schedule(0, s.schedule)
+}
+
+func (s *Stack) setWorkers(n int) {
+	s.accountTo(s.sim.Now())
+	s.workers = n
+	if n > s.metrics.PeakWorkers {
+		s.metrics.PeakWorkers = n
+	}
+}
+
+// accountTo integrates worker-seconds and energy cost up to t.
+func (s *Stack) accountTo(t float64) {
+	dt := t - s.lastAccount
+	if dt <= 0 {
+		s.lastAccount = t
+		return
+	}
+	s.metrics.WorkerSeconds += float64(s.workers) * dt
+	price := 1.0
+	if s.cfg.EnergyPrice != nil {
+		price = s.cfg.EnergyPrice(s.lastAccount)
+	}
+	s.metrics.EnergyCost += float64(s.workers) * dt * price
+	s.lastAccount = t
+}
+
+// schedule assigns queued jobs to free workers, deferring non-urgent
+// slack jobs while energy is expensive (time shifting, §3.2).
+func (s *Stack) schedule() {
+	now := s.sim.Now()
+	s.accountTo(now)
+	price := 1.0
+	if s.cfg.EnergyPrice != nil {
+		price = s.cfg.EnergyPrice(now)
+	}
+	expensive := s.cfg.EnergyPrice != nil && price > s.cfg.PriceThreshold
+	var deferred []*Job
+	launched := false
+	for s.busyWorkers < s.workers && len(s.queue) > 0 {
+		j := heap.Pop(&s.queue).(*Job)
+		dur := float64(j.Sectors) * s.sectorSecs
+		if expensive && !j.Urgent {
+			// Defer if the job can still meet its deadline when
+			// started at the estimated end of the price peak.
+			slack := j.Deadline - now - dur
+			if slack > s.cfg.ScaleEvery*2 {
+				deferred = append(deferred, j)
+				s.metrics.Deferred++
+				continue
+			}
+		}
+		s.busyWorkers++
+		launched = true
+		j.started = true
+		s.sim.Schedule(dur, func() {
+			s.accountTo(s.sim.Now())
+			s.busyWorkers--
+			s.metrics.Completed++
+			if s.sim.Now() > j.Deadline {
+				s.metrics.MissedDeadlines++
+			}
+			if j.Done != nil {
+				j.Done(s.sim.Now())
+			}
+			s.sim.Schedule(0, s.schedule)
+		})
+	}
+	for _, j := range deferred {
+		heap.Push(&s.queue, j)
+	}
+	if len(deferred) > 0 && !launched {
+		// Re-check when the price may have changed.
+		s.sim.Schedule(s.cfg.ScaleEvery, s.schedule)
+	}
+}
+
+// QueueDepth reports queued (not yet started) jobs.
+func (s *Stack) QueueDepth() int { return len(s.queue) }
+
+// DayNightPrice is a simple diurnal energy-price curve: expensive
+// during the day (factor 2), cheap at night (factor 0.5), 24 h period.
+func DayNightPrice(t float64) float64 {
+	h := t / 3600
+	hod := h - 24*float64(int(h/24))
+	if hod >= 8 && hod < 20 {
+		return 2.0
+	}
+	return 0.5
+}

@@ -1,0 +1,247 @@
+package decode
+
+import (
+	"testing"
+
+	"silica/internal/sim"
+)
+
+func newStack(t *testing.T, cfg Config) (*sim.Simulator, *Stack) {
+	t.Helper()
+	s := sim.New()
+	st, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func TestJobsComplete(t *testing.T) {
+	s, st := newStack(t, DefaultConfig())
+	done := 0
+	for i := 0; i < 10; i++ {
+		st.Submit(&Job{
+			ID: int64(i), Sectors: 100, Submitted: 0, Deadline: 3600,
+			Done: func(float64) { done++ },
+		})
+	}
+	s.Run()
+	if done != 10 {
+		t.Fatalf("completed %d/10", done)
+	}
+	m := st.Metrics()
+	if m.Completed != 10 || m.MissedDeadlines != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.WorkerSeconds <= 0 {
+		t.Fatal("no worker time accounted")
+	}
+}
+
+func TestAutoscalerGrowsAndShrinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.MaxWorkers = 32
+	s, st := newStack(t, cfg)
+	// A large burst should push the fleet well above the floor.
+	for i := 0; i < 200; i++ {
+		st.Submit(&Job{ID: int64(i), Sectors: 2000, Deadline: 1e6})
+	}
+	s.Run()
+	m := st.Metrics()
+	if m.PeakWorkers <= 2 {
+		t.Fatalf("peak workers = %d, autoscaler never scaled up", m.PeakWorkers)
+	}
+	// After the queue drains the fleet returns to the floor.
+	if st.Workers() != 1 {
+		t.Fatalf("workers after drain = %d, want 1", st.Workers())
+	}
+	if m.Completed != 200 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+}
+
+func TestUrgentJobsJumpQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.MaxWorkers = 1 // force ordering to matter
+	s, st := newStack(t, cfg)
+	var order []int64
+	mk := func(id int64, urgent bool, deadline float64) *Job {
+		return &Job{ID: id, Sectors: 100, Deadline: deadline, Urgent: urgent,
+			Done: func(float64) { order = append(order, id) }}
+	}
+	// Submit at t=0 before any worker starts: 3 lazy, then 1 urgent.
+	st.Submit(mk(1, false, 1e5))
+	st.Submit(mk(2, false, 1e5))
+	st.Submit(mk(3, false, 1e5))
+	st.Submit(mk(4, true, 1e5))
+	s.Run()
+	if len(order) != 4 {
+		t.Fatalf("completed %d/4", len(order))
+	}
+	if order[0] != 4 {
+		t.Fatalf("urgent job ran %v-th (order %v)", order[0], order)
+	}
+}
+
+func TestDeadlineOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.MaxWorkers = 1
+	s, st := newStack(t, cfg)
+	var order []int64
+	mk := func(id int64, deadline float64) *Job {
+		return &Job{ID: id, Sectors: 10, Deadline: deadline,
+			Done: func(float64) { order = append(order, id) }}
+	}
+	st.Submit(mk(1, 5000))
+	st.Submit(mk(2, 100))
+	st.Submit(mk(3, 1000))
+	s.Run()
+	want := []int64{2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMissedDeadlineCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.MaxWorkers = 1
+	s, st := newStack(t, cfg)
+	// 1000 sectors at 0.05 s = 50 s of work against a 1 s deadline.
+	st.Submit(&Job{ID: 1, Sectors: 1000, Deadline: 1})
+	s.Run()
+	if st.Metrics().MissedDeadlines != 1 {
+		t.Fatalf("missed = %d", st.Metrics().MissedDeadlines)
+	}
+}
+
+// TestTimeShiftingDefersToCheapWindow: a slack job submitted during
+// the expensive window should complete after the price drops, and the
+// run should record deferrals.
+func TestTimeShiftingDefersToCheapWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.EnergyPrice = DayNightPrice
+	s, st := newStack(t, cfg)
+	// Day starts at 8h; submit at 9h (price 2.0) with a 24 h SLO.
+	nineAM := 9 * 3600.0
+	var completed float64
+	s.At(nineAM, func() {
+		st.Submit(&Job{
+			ID: 1, Sectors: 100, Submitted: nineAM,
+			Deadline: nineAM + 24*3600,
+			Done:     func(tc float64) { completed = tc },
+		})
+	})
+	s.Run()
+	eightPM := 20 * 3600.0
+	if completed < eightPM {
+		t.Fatalf("slack job completed at %v, before the cheap window at %v", completed, eightPM)
+	}
+	if st.Metrics().Deferred == 0 {
+		t.Fatal("no deferrals recorded")
+	}
+	if st.Metrics().MissedDeadlines != 0 {
+		t.Fatal("time shifting missed the deadline")
+	}
+}
+
+// TestUrgentRunsDespitePrice: urgent decode requests (reads close to
+// the storage SLO) must not be time-shifted.
+func TestUrgentRunsDespitePrice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.EnergyPrice = DayNightPrice
+	s, st := newStack(t, cfg)
+	nineAM := 9 * 3600.0
+	var completed float64
+	s.At(nineAM, func() {
+		st.Submit(&Job{
+			ID: 1, Sectors: 100, Urgent: true, Submitted: nineAM,
+			Deadline: nineAM + 24*3600,
+			Done:     func(tc float64) { completed = tc },
+		})
+	})
+	s.Run()
+	if completed > nineAM+60 {
+		t.Fatalf("urgent job delayed to %v", completed)
+	}
+}
+
+// TestTightDeadlineOverridesPrice: a non-urgent job without slack runs
+// immediately even at peak price.
+func TestTightDeadlineOverridesPrice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.EnergyPrice = DayNightPrice
+	s, st := newStack(t, cfg)
+	nineAM := 9 * 3600.0
+	var completed float64
+	s.At(nineAM, func() {
+		st.Submit(&Job{
+			ID: 1, Sectors: 100, Submitted: nineAM,
+			Deadline: nineAM + 300, // 5 minutes: no slack
+			Done:     func(tc float64) { completed = tc },
+		})
+	})
+	s.Run()
+	if completed > nineAM+300 {
+		t.Fatalf("tight job completed at %v, past its deadline", completed)
+	}
+}
+
+func TestSwapModelChangesThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinWorkers = 1
+	cfg.MaxWorkers = 1
+	s, st := newStack(t, cfg)
+	if st.Model() != "unet-v1" {
+		t.Fatalf("initial model = %q", st.Model())
+	}
+	if err := st.SwapModel("unet-v2", cfg.SectorSecs/5); err != nil {
+		t.Fatal(err)
+	}
+	var completed float64
+	st.Submit(&Job{ID: 1, Sectors: 1000, Deadline: 1e6,
+		Done: func(tc float64) { completed = tc }})
+	s.Run()
+	// 1000 sectors at 0.01 s = 10 s, vs 50 s on v1.
+	if completed > 15 {
+		t.Fatalf("v2 decode took %v s, model swap ineffective", completed)
+	}
+	if err := st.SwapModel("bad", 0); err == nil {
+		t.Fatal("zero-cost model accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sim.New()
+	bad := []Config{
+		{},
+		{SectorSecs: 0.1, MaxWorkers: 0, ScaleEvery: 1, TargetBacklog: 1},
+		{SectorSecs: 0.1, MinWorkers: 5, MaxWorkers: 2, ScaleEvery: 1, TargetBacklog: 1},
+		{SectorSecs: 0.1, MaxWorkers: 2, ScaleEvery: 0, TargetBacklog: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(s, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDayNightPrice(t *testing.T) {
+	if DayNightPrice(12*3600) != 2.0 {
+		t.Fatal("noon should be expensive")
+	}
+	if DayNightPrice(2*3600) != 0.5 {
+		t.Fatal("2am should be cheap")
+	}
+	if DayNightPrice(26*3600) != 0.5 {
+		t.Fatal("price should wrap over days")
+	}
+}

@@ -1,0 +1,272 @@
+// Package deployment models a multi-library Silica site (§6): platters
+// of one platter-set spread within and across libraries so that any
+// single blast zone — or a whole library — holds at most its fair
+// share of a set, and recovery reads fan out across libraries,
+// load-balancing the fleet. Libraries are independent (no shared
+// drives or shuttles), so the deployment routes each request to the
+// owning library and the simulation composes per-library digital
+// twins.
+package deployment
+
+import (
+	"fmt"
+
+	"silica/internal/controller"
+	"silica/internal/library"
+	"silica/internal/media"
+	"silica/internal/stats"
+)
+
+// Config sizes a deployment.
+type Config struct {
+	Libraries int
+	// Library is the per-library configuration; its Platters field is
+	// ignored in favour of TotalPlatters.
+	Library       library.Config
+	TotalPlatters int
+	// SetInfo/SetRed shape platter-sets spread across libraries.
+	SetInfo, SetRed int
+	Seed            uint64
+}
+
+// DefaultConfig is a three-library site with the paper's 16+3 sets.
+func DefaultConfig() Config {
+	lib := library.DefaultConfig()
+	return Config{
+		Libraries:     3,
+		Library:       lib,
+		TotalPlatters: 6000,
+		SetInfo:       16,
+		SetRed:        3,
+	}
+}
+
+// location is a platter's placement.
+type location struct {
+	lib   int
+	local media.PlatterID
+}
+
+// Deployment is a fleet of libraries with a shared platter directory.
+type Deployment struct {
+	cfg  Config
+	libs []*library.Library
+	// directory maps global platter IDs to per-library local IDs.
+	directory []location
+	// members[set] lists the global IDs of one platter-set.
+	members     [][]media.PlatterID
+	setOf       []int
+	posOf       []int
+	unavailable map[media.PlatterID]bool
+
+	// Per-library request batches accumulated by Submit.
+	batches  [][]*controller.Request
+	loads    []int64
+	complete *stats.Sample
+	nextID   controller.RequestID
+
+	Unrecoverable int
+	InternalReads int
+}
+
+// New builds the deployment and spreads platter-sets across libraries
+// diagonally: member m of set s lands in library (s+m) mod L, so no
+// library holds more than ceil(size/L) members of any set.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.Libraries < 1 {
+		return nil, fmt.Errorf("deployment: need at least one library")
+	}
+	if cfg.TotalPlatters < 1 {
+		return nil, fmt.Errorf("deployment: need platters")
+	}
+	if cfg.SetInfo < 1 || cfg.SetRed < 0 {
+		return nil, fmt.Errorf("deployment: bad set shape %d+%d", cfg.SetInfo, cfg.SetRed)
+	}
+	d := &Deployment{
+		cfg:         cfg,
+		directory:   make([]location, cfg.TotalPlatters),
+		setOf:       make([]int, cfg.TotalPlatters),
+		posOf:       make([]int, cfg.TotalPlatters),
+		unavailable: make(map[media.PlatterID]bool),
+		batches:     make([][]*controller.Request, cfg.Libraries),
+		loads:       make([]int64, cfg.Libraries),
+		complete:    stats.NewSample(),
+	}
+	size := cfg.SetInfo + cfg.SetRed
+	counts := make([]int, cfg.Libraries)
+	for g := 0; g < cfg.TotalPlatters; g++ {
+		set := g / size
+		pos := g % size
+		// Rotate each set by a hashed offset: members still spread
+		// maximally (consecutive positions hit consecutive libraries)
+		// but the library index carries no arithmetic correlation with
+		// the global platter ID that a strided workload could align
+		// with.
+		lib := (pos + setRotation(uint64(set), cfg.Seed)) % cfg.Libraries
+		d.setOf[g] = set
+		d.posOf[g] = pos
+		d.directory[g] = location{lib: lib, local: media.PlatterID(counts[lib])}
+		counts[lib]++
+		if pos == 0 {
+			d.members = append(d.members, make([]media.PlatterID, 0, size))
+		}
+		d.members[set] = append(d.members[set], media.PlatterID(g))
+	}
+	for l := 0; l < cfg.Libraries; l++ {
+		libCfg := cfg.Library
+		libCfg.Platters = counts[l]
+		libCfg.Seed = cfg.Seed + uint64(l)*7919
+		lb, err := library.New(libCfg)
+		if err != nil {
+			return nil, fmt.Errorf("deployment: library %d: %w", l, err)
+		}
+		d.libs = append(d.libs, lb)
+	}
+	return d, nil
+}
+
+// setRotation hashes a set index to a stable rotation offset.
+func setRotation(set, seed uint64) int {
+	x := set*0x9e3779b97f4a7c15 + seed + 0x1234
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % (1 << 30))
+}
+
+// Libraries reports the fleet size.
+func (d *Deployment) Libraries() int { return len(d.libs) }
+
+// LibraryOf reports which library holds a global platter.
+func (d *Deployment) LibraryOf(p media.PlatterID) int {
+	return d.directory[p].lib
+}
+
+// SetMembers returns the global platter IDs of p's set.
+func (d *Deployment) SetMembers(p media.PlatterID) []media.PlatterID {
+	return d.members[d.setOf[int(p)]]
+}
+
+// MarkUnavailable fails a specific global platter.
+func (d *Deployment) MarkUnavailable(p media.PlatterID) {
+	d.unavailable[p] = true
+}
+
+// FailLibrary takes an entire library offline: every platter it holds
+// becomes unavailable (reads recover through the other libraries).
+func (d *Deployment) FailLibrary(lib int) int {
+	n := 0
+	for g, loc := range d.directory {
+		if loc.lib == lib {
+			d.unavailable[media.PlatterID(g)] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Submit queues a request against a global platter; unavailable
+// platters fan out into SetInfo recovery reads across the fleet.
+func (d *Deployment) Submit(req *controller.Request) {
+	if !d.unavailable[req.Platter] {
+		d.route(req, req.Platter, req.Done, true)
+		return
+	}
+	// Cross-library recovery: matching track from SetInfo available
+	// members — spread across libraries by construction.
+	var avail []media.PlatterID
+	for _, m := range d.SetMembers(req.Platter) {
+		if m != req.Platter && !d.unavailable[m] {
+			avail = append(avail, m)
+		}
+	}
+	if len(avail) < d.cfg.SetInfo {
+		d.Unrecoverable++
+		return
+	}
+	avail = avail[:d.cfg.SetInfo]
+	remaining := len(avail)
+	arrival := req.Arrival
+	for _, m := range avail {
+		d.nextID++
+		ir := &controller.Request{
+			ID: d.nextID, StartTrack: req.StartTrack, TrackCount: req.TrackCount,
+			Bytes: req.Bytes, Arrival: arrival, Internal: true,
+		}
+		d.InternalReads++
+		done := req.Done
+		d.route(ir, m, func(t float64) {
+			remaining--
+			if remaining == 0 {
+				d.complete.Add(t - arrival)
+				if done != nil {
+					done(t)
+				}
+			}
+		}, false)
+	}
+}
+
+// route rewrites a request to library-local platter coordinates and
+// batches it for that library's run.
+func (d *Deployment) route(req *controller.Request, global media.PlatterID, done func(float64), record bool) {
+	loc := d.directory[global]
+	local := *req
+	local.Platter = loc.local
+	arrival := req.Arrival
+	local.Done = func(t float64) {
+		if record {
+			d.complete.Add(t - arrival)
+		}
+		if done != nil {
+			done(t)
+		}
+	}
+	if record {
+		// Avoid double-recording: library metrics also track
+		// completions, but the deployment sample is authoritative.
+		local.Internal = true
+	}
+	d.batches[loc.lib] = append(d.batches[loc.lib], &local)
+	d.loads[loc.lib] += req.Bytes
+}
+
+// Run executes every library's batch. Libraries share no resources,
+// so running them sequentially on independent clocks is equivalent to
+// a shared-clock co-simulation.
+func (d *Deployment) Run(horizon float64) {
+	for l, lb := range d.libs {
+		lb.RunTrace(d.batches[l], horizon)
+		d.batches[l] = nil
+	}
+}
+
+// Completions returns the deployment-level completion sample.
+func (d *Deployment) Completions() *stats.Sample { return d.complete }
+
+// LibraryLoads reports routed bytes per library: the §6 load-balancing
+// signal ("spreading them across libraries leads to better
+// load-balancing and higher utilization of libraries at read-time").
+func (d *Deployment) LibraryLoads() []int64 {
+	out := make([]int64, len(d.loads))
+	copy(out, d.loads)
+	return out
+}
+
+// MaxSetMembersPerLibrary reports the worst-case concentration of any
+// single set in one library — the §6 spreading invariant.
+func (d *Deployment) MaxSetMembersPerLibrary() int {
+	worst := 0
+	for _, set := range d.members {
+		perLib := make(map[int]int)
+		for _, g := range set {
+			perLib[d.directory[g].lib]++
+		}
+		for _, c := range perLib {
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	return worst
+}

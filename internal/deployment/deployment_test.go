@@ -1,0 +1,271 @@
+package deployment
+
+import (
+	"testing"
+
+	"silica/internal/controller"
+	"silica/internal/library"
+	"silica/internal/media"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TotalPlatters = 1900 // 100 sets of 19
+	cfg.Library.Platters = 0
+	cfg.Seed = 5
+	return cfg
+}
+
+func TestConstructionSpreadsSets(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 3 libraries and 19-member sets, no library may hold more
+	// than ceil(19/3) = 7 members of one set.
+	if worst := d.MaxSetMembersPerLibrary(); worst > 7 {
+		t.Fatalf("worst set concentration = %d, want <= 7", worst)
+	}
+	// Many libraries: at most one member each.
+	cfg := testConfig()
+	cfg.Libraries = 19
+	cfg.Library.Platters = 0
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := d2.MaxSetMembersPerLibrary(); worst != 1 {
+		t.Fatalf("19 libraries should hold one member each, got %d", worst)
+	}
+}
+
+func TestDirectoryConsistency(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every set has exactly 19 members and contains its own platter.
+	for g := 0; g < 1900; g++ {
+		p := media.PlatterID(g)
+		members := d.SetMembers(p)
+		if len(members) != 19 {
+			t.Fatalf("platter %d set size = %d", g, len(members))
+		}
+		found := false
+		for _, m := range members {
+			if m == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("platter %d missing from its own set", g)
+		}
+		if lib := d.LibraryOf(p); lib < 0 || lib >= d.Libraries() {
+			t.Fatalf("platter %d routed to library %d", g, lib)
+		}
+	}
+}
+
+func mkReq(d *Deployment, id int, p media.PlatterID, arrival float64) *controller.Request {
+	return &controller.Request{
+		ID: controller.RequestID(1000000 + id), Platter: p,
+		StartTrack: 0, TrackCount: 1, Bytes: 10e6, Arrival: arrival,
+	}
+}
+
+func TestRoutingAndCompletion(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		d.Submit(mkReq(d, i, media.PlatterID(i*12%1900), float64(i)))
+	}
+	d.Run(0)
+	if got := d.Completions().N(); got != 150 {
+		t.Fatalf("completions = %d, want 150", got)
+	}
+	// All three libraries should have seen load.
+	for l, load := range d.LibraryLoads() {
+		if load == 0 {
+			t.Fatalf("library %d received no load", l)
+		}
+	}
+}
+
+func TestCrossLibraryRecovery(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := media.PlatterID(0)
+	d.MarkUnavailable(target)
+	done := false
+	req := mkReq(d, 1, target, 0)
+	req.Done = func(float64) { done = true }
+	d.Submit(req)
+	d.Run(0)
+	if !done {
+		t.Fatal("recovery read never completed")
+	}
+	if d.InternalReads != 16 {
+		t.Fatalf("internal reads = %d, want 16", d.InternalReads)
+	}
+	if d.Completions().N() != 1 {
+		t.Fatalf("completions = %d, want 1", d.Completions().N())
+	}
+	// The 16 member reads must span multiple libraries (the §6
+	// load-balancing benefit).
+	libsHit := map[int]bool{}
+	for _, m := range d.SetMembers(target) {
+		if m != target {
+			libsHit[d.LibraryOf(m)] = true
+		}
+	}
+	if len(libsHit) < 2 {
+		t.Fatal("set members should span libraries")
+	}
+}
+
+func TestWholeLibraryFailure(t *testing.T) {
+	// Surviving a whole-library failure needs per-library set
+	// concentration <= R = 3, i.e. at least ceil(19/3) = 7 libraries.
+	cfg := testConfig()
+	cfg.Libraries = 7
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := d.FailLibrary(1)
+	if failed == 0 {
+		t.Fatal("library 1 held no platters?")
+	}
+	reqs := 0
+	for g := 0; g < 1900 && reqs < 30; g++ {
+		p := media.PlatterID(g)
+		if d.LibraryOf(p) == 1 {
+			d.Submit(mkReq(d, g, p, float64(reqs)))
+			reqs++
+		}
+	}
+	d.Run(0)
+	completed := d.Completions().N()
+	if completed+d.Unrecoverable != reqs {
+		t.Fatalf("completed %d + unrecoverable %d != %d submitted",
+			completed, d.Unrecoverable, reqs)
+	}
+	if completed != reqs {
+		t.Fatalf("with 7 libraries every request should recover: %d/%d", completed, reqs)
+	}
+}
+
+func TestTooFewLibrariesCannotSurviveLibraryLoss(t *testing.T) {
+	// The converse: with 4 libraries a set loses up to 5 members when
+	// one library fails — beyond R = 3, so recovery must fail loudly.
+	cfg := testConfig()
+	cfg.Libraries = 4
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FailLibrary(0)
+	reqs := 0
+	for g := 0; g < 1900 && reqs < 20; g++ {
+		p := media.PlatterID(g)
+		if d.LibraryOf(p) == 0 {
+			d.Submit(mkReq(d, g, p, float64(reqs)))
+			reqs++
+		}
+	}
+	d.Run(0)
+	if d.Unrecoverable == 0 {
+		t.Fatal("4-library site should lose data on whole-library failure (5 > R members gone)")
+	}
+}
+
+func TestLoadBalanceUnderRecovery(t *testing.T) {
+	// Uniform reads of one failed library's platters should spread
+	// amplified load across the surviving libraries.
+	cfg := testConfig()
+	cfg.Libraries = 7
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FailLibrary(0)
+	n := 0
+	for g := 0; g < 1900 && n < 40; g++ {
+		p := media.PlatterID(g)
+		if d.LibraryOf(p) == 0 {
+			d.Submit(mkReq(d, g, p, float64(n)))
+			n++
+		}
+	}
+	loads := d.LibraryLoads()
+	if loads[0] != 0 {
+		t.Fatal("failed library should receive nothing")
+	}
+	min, max := int64(1<<62), int64(0)
+	for _, l := range loads[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == 0 || max > 3*min {
+		t.Fatalf("recovery load unbalanced: %v", loads)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.Libraries = 0 },
+		func(c *Config) { c.TotalPlatters = 0 },
+		func(c *Config) { c.SetInfo = 0 },
+		func(c *Config) { c.Library.DriveThroughput = 0 },
+	} {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		d, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			d.Submit(mkReq(d, i, media.PlatterID(i*37%1900), float64(i)))
+		}
+		d.Run(0)
+		return d.Completions().Sum()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("deployment not deterministic: %v vs %v", a, b)
+	}
+}
+
+// Guard against accidental interference between the deployment's
+// request rewriting and library-internal recovery.
+func TestNoDoubleRecovery(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MarkUnavailable(media.PlatterID(5))
+	d.Submit(mkReq(d, 1, media.PlatterID(5), 0))
+	d.Run(0)
+	for _, lb := range d.libs {
+		if lb.Metrics().InternalReads != 0 {
+			t.Fatal("library-level recovery triggered inside a deployment")
+		}
+		_ = lb
+	}
+	var _ = library.PolicySilica
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"silica/internal/library"
+	"silica/internal/stats"
+	"silica/internal/workload"
+)
+
+// AblationsResult sweeps the design choices DESIGN.md calls out:
+// partition granularity (pooling vs congestion), work-stealing mode,
+// prefetch pipelining, and fast switching.
+type AblationsResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Name        string
+	Profile     workload.Profile
+	Tail        float64
+	Congestion  float64
+	Utilization float64
+}
+
+// Ablations runs each variant against the profile that stresses it.
+func Ablations(sc Scale) (AblationsResult, error) {
+	out := AblationsResult{}
+	run := func(name string, p workload.Profile, zipf float64, mutate func(*library.Config)) error {
+		var congestion, util float64
+		tail, err := meanTail(sc, func(s Scale) (float64, error) {
+			tr, err := genTrace(p, s, zipf)
+			if err != nil {
+				return 0, err
+			}
+			cfg := library.DefaultConfig()
+			cfg.Platters = s.Platters
+			cfg.Seed = s.Seed
+			mutate(&cfg)
+			lib, err := library.New(cfg)
+			if err != nil {
+				return 0, err
+			}
+			t := tailOf(runTrace(lib, tr))
+			congestion += lib.ShuttleStats().CongestionOverhead() / tailSeeds
+			util += lib.DriveUtilization(lib.Sim().Now()).Utilization() / tailSeeds
+			return t, nil
+		})
+		if err != nil {
+			return err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Name: name, Profile: p, Tail: tail, Congestion: congestion, Utilization: util,
+		})
+		return nil
+	}
+
+	steps := []struct {
+		name   string
+		p      workload.Profile
+		zipf   float64
+		mutate func(*library.Config)
+	}{
+		{"baseline (20 shuttles, 20 partitions)", workload.Volume, 0, func(c *library.Config) {}},
+		{"partition cap 10 (2 drives/partition)", workload.Volume, 0, func(c *library.Config) { c.PartitionCap = 10 }},
+		{"reactive stealing (default)", workload.Volume, 2.0, func(c *library.Config) {}},
+		{"proactive stealing", workload.Volume, 2.0, func(c *library.Config) { c.ProactiveStealing = true }},
+		{"no stealing", workload.Volume, 2.0, func(c *library.Config) { c.WorkStealing = false }},
+		{"prefetch off (default), 40 shuttles", workload.IOPS, 0, func(c *library.Config) { c.Shuttles = 40 }},
+		{"prefetch on, 40 shuttles", workload.IOPS, 0, func(c *library.Config) { c.Shuttles = 40; c.Prefetch = true }},
+		{"verification on (fast switch)", workload.Typical, 0, func(c *library.Config) {}},
+		{"verification off", workload.Typical, 0, func(c *library.Config) { c.Verification = false }},
+	}
+	for _, st := range steps {
+		if err := run(st.name, st.p, st.zipf, st.mutate); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (r AblationsResult) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			row.Profile.String(),
+			stats.FormatDuration(row.Tail),
+			fmt.Sprintf("%.1f%%", 100*row.Congestion),
+			fmt.Sprintf("%.1f%%", 100*row.Utilization),
+		})
+	}
+	return "Ablations: design-choice sweeps beyond the paper's figures\n" +
+		table([]string{"variant", "profile", "tail", "congestion", "drive util"}, rows)
+}

@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+
+	"silica/internal/library"
+	"silica/internal/stats"
+	"silica/internal/workload"
+)
+
+// SweepPoint is one (x, tail) measurement per policy.
+type SweepPoint struct {
+	X      float64
+	Silica float64
+	SP     float64 // 0 when not measured
+	NS     float64
+}
+
+// Fig5Result is a drive-throughput or shuttle-count sweep.
+type Fig5Result struct {
+	Title   string
+	XLabel  string
+	Points  []SweepPoint
+	WithSP  bool
+	Profile workload.Profile
+}
+
+func (r Fig5Result) String() string {
+	header := []string{r.XLabel, "Silica tail", "NS tail"}
+	if r.WithSP {
+		header = []string{r.XLabel, "Silica tail", "SP tail", "NS tail"}
+	}
+	var rows [][]string
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%.0f", p.X), stats.FormatDuration(p.Silica)}
+		if r.WithSP {
+			row = append(row, stats.FormatDuration(p.SP))
+		}
+		row = append(row, stats.FormatDuration(p.NS))
+		rows = append(rows, row)
+	}
+	return r.Title + "\n" + table(header, rows)
+}
+
+// Fig5a sweeps per-drive read throughput for the IOPS trace (20
+// drives, 20 shuttles): the paper's plateau-shaped curves.
+func Fig5a(sc Scale) (Fig5Result, error) {
+	return throughputSweep("Figure 5(a): tail completion vs per-drive throughput, IOPS trace",
+		workload.IOPS, sc)
+}
+
+// Fig5b sweeps per-drive throughput for the Volume trace.
+func Fig5b(sc Scale) (Fig5Result, error) {
+	return throughputSweep("Figure 5(b): tail completion vs per-drive throughput, Volume trace",
+		workload.Volume, sc)
+}
+
+func throughputSweep(title string, p workload.Profile, sc Scale) (Fig5Result, error) {
+	res := Fig5Result{Title: title, XLabel: "MB/s", Profile: p}
+	for _, mbps := range []float64{30, 60, 90, 120, 150, 180, 210} {
+		pt := SweepPoint{X: mbps}
+		for _, pol := range []library.Policy{library.PolicySilica, library.PolicyNS} {
+			pol := pol
+			shuttles := 20
+			if pol == library.PolicyNS {
+				shuttles = 0
+			}
+			tail, err := meanTail(sc, func(s Scale) (float64, error) {
+				tr, err := genTrace(p, s, 0)
+				if err != nil {
+					return 0, err
+				}
+				lib, err := buildLibrary(pol, shuttles, mbps, s, true)
+				if err != nil {
+					return 0, err
+				}
+				return tailOf(runTrace(lib, tr)), nil
+			})
+			if err != nil {
+				return res, err
+			}
+			if pol == library.PolicySilica {
+				pt.Silica = tail
+			} else {
+				pt.NS = tail
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig5c sweeps shuttle count for the IOPS trace at 60 MB/s drives,
+// including the SP strawman.
+func Fig5c(sc Scale) (Fig5Result, error) {
+	return shuttleSweep("Figure 5(c): tail completion vs shuttles, IOPS trace (60 MB/s drives)",
+		workload.IOPS, sc, true)
+}
+
+// Fig5d sweeps shuttle count for the Volume trace.
+func Fig5d(sc Scale) (Fig5Result, error) {
+	return shuttleSweep("Figure 5(d): tail completion vs shuttles, Volume trace (60 MB/s drives)",
+		workload.Volume, sc, false)
+}
+
+func shuttleSweep(title string, p workload.Profile, sc Scale, withSP bool) (Fig5Result, error) {
+	res := Fig5Result{Title: title, XLabel: "shuttles", Profile: p, WithSP: withSP}
+	// NS has no shuttles: constant across the sweep.
+	nsTail, err := meanTail(sc, func(s Scale) (float64, error) {
+		tr, err := genTrace(p, s, 0)
+		if err != nil {
+			return 0, err
+		}
+		lib, err := buildLibrary(library.PolicyNS, 0, 60, s, false)
+		if err != nil {
+			return 0, err
+		}
+		return tailOf(runTrace(lib, tr)), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, n := range []int{8, 12, 16, 20, 28, 40} {
+		pt := SweepPoint{X: float64(n), NS: nsTail}
+		pols := []library.Policy{library.PolicySilica}
+		if withSP {
+			pols = append(pols, library.PolicySP)
+		}
+		for _, pol := range pols {
+			pol, n := pol, n
+			tail, err := meanTail(sc, func(s Scale) (float64, error) {
+				tr, err := genTrace(p, s, 0)
+				if err != nil {
+					return 0, err
+				}
+				lib, err := buildLibrary(pol, n, 60, s, true)
+				if err != nil {
+					return 0, err
+				}
+				return tailOf(runTrace(lib, tr)), nil
+			})
+			if err != nil {
+				return res, err
+			}
+			if pol == library.PolicySilica {
+				pt.Silica = tail
+			} else {
+				pt.SP = tail
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig6Result is the drive-utilization breakdown per workload profile.
+type Fig6Result struct {
+	Rows map[workload.Profile]library.DriveUtil
+}
+
+// Fig6 measures read-drive utilization with fast switching across the
+// three profiles (paper: >96% utilization, verify-dominated).
+func Fig6(sc Scale) (Fig6Result, error) {
+	out := Fig6Result{Rows: map[workload.Profile]library.DriveUtil{}}
+	for _, p := range []workload.Profile{workload.Typical, workload.IOPS, workload.Volume} {
+		tr, err := genTrace(p, sc, 0)
+		if err != nil {
+			return out, err
+		}
+		lib, err := buildLibrary(library.PolicySilica, 20, 60, sc, true)
+		if err != nil {
+			return out, err
+		}
+		runTrace(lib, tr)
+		out.Rows[p] = lib.DriveUtilization(lib.Sim().Now())
+	}
+	return out, nil
+}
+
+func (r Fig6Result) String() string {
+	var rows [][]string
+	for _, p := range []workload.Profile{workload.Typical, workload.IOPS, workload.Volume} {
+		u := r.Rows[p]
+		rows = append(rows, []string{p.String(),
+			fmt.Sprintf("%.1f%%", 100*u.Read),
+			fmt.Sprintf("%.1f%%", 100*u.Verify),
+			fmt.Sprintf("%.1f%%", 100*u.Mount),
+			fmt.Sprintf("%.1f%%", 100*u.Switch),
+			fmt.Sprintf("%.1f%%", 100*u.Idle),
+			fmt.Sprintf("%.1f%%", 100*u.Utilization())})
+	}
+	return "Figure 6: read drive utilization (paper: >96%, verify-dominated)\n" +
+		table([]string{"profile", "read", "verify", "mount", "switch", "idle", "utilization"}, rows)
+}
+
+// Fig7aResult compares congestion overhead of SP vs Silica across
+// shuttle counts.
+type Fig7aResult struct {
+	Shuttles []int
+	SP       []float64 // congestion / expected travel
+	Silica   []float64
+}
+
+// Fig7a uses the IOPS trace, where shuttle motion is maximal.
+func Fig7a(sc Scale) (Fig7aResult, error) {
+	out := Fig7aResult{}
+	for _, n := range []int{8, 16, 24, 32, 40} {
+		out.Shuttles = append(out.Shuttles, n)
+		for _, pol := range []library.Policy{library.PolicySP, library.PolicySilica} {
+			tr, err := genTrace(workload.IOPS, sc, 0)
+			if err != nil {
+				return out, err
+			}
+			lib, err := buildLibrary(pol, n, 60, sc, true)
+			if err != nil {
+				return out, err
+			}
+			runTrace(lib, tr)
+			ov := lib.ShuttleStats().CongestionOverhead()
+			if pol == library.PolicySP {
+				out.SP = append(out.SP, ov)
+			} else {
+				out.Silica = append(out.Silica, ov)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (r Fig7aResult) String() string {
+	var rows [][]string
+	for i, n := range r.Shuttles {
+		rows = append(rows, []string{fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f%%", 100*r.SP[i]),
+			fmt.Sprintf("%.1f%%", 100*r.Silica[i])})
+	}
+	return "Figure 7(a): congestion overhead per travel (paper: SP grows, Silica <10%)\n" +
+		table([]string{"shuttles", "SP", "Silica"}, rows)
+}
+
+// Fig7bResult is the power saving of Silica over SP per platter op.
+type Fig7bResult struct {
+	Shuttles []int
+	Saving   []float64 // 1 - silica/sp
+}
+
+// Fig7b measures motor energy per platter operation.
+func Fig7b(sc Scale) (Fig7bResult, error) {
+	out := Fig7bResult{}
+	for _, n := range []int{8, 16, 24, 32, 40} {
+		var energy [2]float64
+		for i, pol := range []library.Policy{library.PolicySP, library.PolicySilica} {
+			tr, err := genTrace(workload.IOPS, sc, 0)
+			if err != nil {
+				return out, err
+			}
+			lib, err := buildLibrary(pol, n, 60, sc, true)
+			if err != nil {
+				return out, err
+			}
+			runTrace(lib, tr)
+			energy[i] = lib.ShuttleStats().EnergyPerOp()
+		}
+		out.Shuttles = append(out.Shuttles, n)
+		out.Saving = append(out.Saving, 1-energy[1]/energy[0])
+	}
+	return out, nil
+}
+
+func (r Fig7bResult) String() string {
+	var rows [][]string
+	for i, n := range r.Shuttles {
+		rows = append(rows, []string{fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f%%", 100*r.Saving[i])})
+	}
+	return "Figure 7(b): power saving per platter op, Silica vs SP (paper: 20-90%)\n" +
+		table([]string{"shuttles", "saving"}, rows)
+}
+
+// Fig7cResult is the skewed-workload load-balancing comparison.
+type Fig7cResult struct {
+	TailNoLB, TailLB, TailNS     float64
+	TravelTailNoLB, TravelTailLB float64
+	StolenOps                    int
+}
+
+// Fig7c runs the Volume trace with Zipf-skewed request placement,
+// comparing Silica without load balancing, with work stealing, and NS.
+func Fig7c(sc Scale) (Fig7cResult, error) {
+	// Zipf exponent 0.7: the hottest platter stays individually
+	// serviceable (~2.5% of bytes) while the hot *region* — low
+	// platter IDs share a partition — concentrates ~30% of the load in
+	// a couple of partitions, which is what load balancing must fix.
+	const skew = 0.7
+	out := Fig7cResult{}
+	run := func(pol library.Policy, stealing bool) (float64, float64, int, error) {
+		var travelSum float64
+		var stolen int
+		tail, err := meanTail(sc, func(s Scale) (float64, error) {
+			tr, err := genTrace(workload.Volume, s, skew)
+			if err != nil {
+				return 0, err
+			}
+			shuttles := 20
+			if pol == library.PolicyNS {
+				shuttles = 0
+			}
+			lib, err := buildLibrary(pol, shuttles, 60, s, stealing)
+			if err != nil {
+				return 0, err
+			}
+			t := tailOf(runTrace(lib, tr))
+			travelSum += lib.Metrics().TravelTimes.P999()
+			stolen += lib.ShuttleStats().StolenOps
+			return t, nil
+		})
+		return tail, travelSum / tailSeeds, stolen, err
+	}
+	var err error
+	out.TailNoLB, out.TravelTailNoLB, _, err = run(library.PolicySilica, false)
+	if err != nil {
+		return out, err
+	}
+	out.TailLB, out.TravelTailLB, out.StolenOps, err = run(library.PolicySilica, true)
+	if err != nil {
+		return out, err
+	}
+	out.TailNS, _, _, err = run(library.PolicyNS, false)
+	return out, err
+}
+
+func (r Fig7cResult) String() string {
+	rows := [][]string{
+		{"Silica, no load balancing", stats.FormatDuration(r.TailNoLB), stats.FormatDuration(r.TravelTailNoLB)},
+		{"Silica, work stealing", stats.FormatDuration(r.TailLB), stats.FormatDuration(r.TravelTailLB)},
+		{"NS", stats.FormatDuration(r.TailNS), "-"},
+	}
+	return fmt.Sprintf("Figure 7(c): Zipf-skewed Volume trace (paper: >21h / 11.5h / 7.5h; travel 29.4s -> 76s; stolen ops here: %d)\n",
+		r.StolenOps) + table([]string{"system", "tail completion", "tail travel"}, rows)
+}
+
+// Fig8Result is the platter-unavailability sweep.
+type Fig8Result struct {
+	Fractions []float64
+	// Tail[profile][mbps] aligned with Fractions.
+	Tails map[workload.Profile]map[float64][]float64
+}
+
+// Fig8 sweeps unavailable-platter fractions with cross-platter
+// recovery (16x read amplification).
+func Fig8(sc Scale) (Fig8Result, error) {
+	out := Fig8Result{
+		Fractions: []float64{0, 0.02, 0.05, 0.10},
+		Tails:     map[workload.Profile]map[float64][]float64{},
+	}
+	for _, p := range []workload.Profile{workload.IOPS, workload.Volume} {
+		out.Tails[p] = map[float64][]float64{}
+		for _, mbps := range []float64{30, 60} {
+			for _, f := range out.Fractions {
+				f, mbps := f, mbps
+				tail, err := meanTail(sc, func(s Scale) (float64, error) {
+					tr, err := genTrace(p, s, 0)
+					if err != nil {
+						return 0, err
+					}
+					lib, err := buildLibrary(library.PolicySilica, 20, mbps, s, true)
+					if err != nil {
+						return 0, err
+					}
+					lib.MarkUnavailable(f)
+					return tailOf(runTrace(lib, tr)), nil
+				})
+				if err != nil {
+					return out, err
+				}
+				out.Tails[p][mbps] = append(out.Tails[p][mbps], tail)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (r Fig8Result) String() string {
+	var rows [][]string
+	for _, p := range []workload.Profile{workload.IOPS, workload.Volume} {
+		for _, mbps := range []float64{30, 60} {
+			row := []string{p.String(), fmt.Sprintf("%.0f MB/s", mbps)}
+			for _, t := range r.Tails[p][mbps] {
+				row = append(row, stats.FormatDuration(t))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return "Figure 8: tail completion vs unavailable platters (paper: IOPS within SLO even at 30 MB/s; Volume 35h@30 -> ~15h@60 at 10%)\n" +
+		table([]string{"profile", "drive", "0%", "2%", "5%", "10%"}, rows)
+}
+
+// Fig9Result is the full-library steady-state study.
+type Fig9Result struct {
+	Rates []float64
+	// Tails[mbps] aligned with Rates.
+	Tails map[float64][]float64
+}
+
+// Fig9 runs Poisson arrivals of ~100 MB files against a full library
+// at several read rates and drive speeds (paper: 0.3 r/s today, 1.6
+// r/s projected; 60 MB/s drives give ~8 h tails at 1.6 r/s).
+func Fig9(sc Scale) (Fig9Result, error) {
+	out := Fig9Result{
+		Rates: []float64{0.3, 0.8, 1.6},
+		Tails: map[float64][]float64{},
+	}
+	platters := sc.Platters * 2 // "full" library
+	duration := sc.Duration / 2
+	for _, mbps := range []float64{30, 60, 120} {
+		for _, rate := range out.Rates {
+			mbps, rate := mbps, rate
+			tail, err := meanTail(sc, func(s Scale) (float64, error) {
+				scaledRate := rate * s.TraceScale
+				tr := workload.GeneratePoisson(scaledRate, duration, duration/6, duration/6,
+					platters, 10, 10e6, s.Seed)
+				cfg := library.DefaultConfig()
+				cfg.DriveThroughput = MBps(mbps)
+				cfg.Platters = platters
+				cfg.Seed = s.Seed
+				lib, err := library.New(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return tailOf(runTrace(lib, tr)), nil
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Tails[mbps] = append(out.Tails[mbps], tail)
+		}
+	}
+	return out, nil
+}
+
+func (r Fig9Result) String() string {
+	var rows [][]string
+	for _, mbps := range []float64{30, 60, 120} {
+		row := []string{fmt.Sprintf("%.0f MB/s", mbps)}
+		for _, t := range r.Tails[mbps] {
+			row = append(row, stats.FormatDuration(t))
+		}
+		rows = append(rows, row)
+	}
+	header := []string{"drive"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("%.1f r/s", rate))
+	}
+	return "Figure 9: full library, Poisson reads of ~100 MB files (paper: ~8h tail at 1.6 r/s, 60 MB/s)\n" +
+		table(header, rows)
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+
+	"silica/internal/layout"
+	"silica/internal/mechanics"
+	"silica/internal/nc"
+	"silica/internal/sim"
+	"silica/internal/stats"
+	"silica/internal/workload"
+)
+
+// Fig1aResult is the writes-over-reads characterization (Figure 1a).
+type Fig1aResult struct {
+	Months         []workload.MonthlyIO
+	MeanBytesRatio float64
+	MeanOpsRatio   float64
+}
+
+// Fig1a generates six months of traffic and reports the write/read
+// dominance ratios.
+func Fig1a(seed uint64) Fig1aResult {
+	months := workload.GenerateMonthlyIO(6, seed)
+	var b, o float64
+	for _, m := range months {
+		b += m.BytesRatio()
+		o += m.OpsRatio()
+	}
+	n := float64(len(months))
+	return Fig1aResult{Months: months, MeanBytesRatio: b / n, MeanOpsRatio: o / n}
+}
+
+func (r Fig1aResult) String() string {
+	rows := make([][]string, 0, len(r.Months)+1)
+	for i, m := range r.Months {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", m.BytesRatio()),
+			fmt.Sprintf("%.1f", m.OpsRatio()),
+		})
+	}
+	rows = append(rows, []string{"mean",
+		fmt.Sprintf("%.1f (paper: 47)", r.MeanBytesRatio),
+		fmt.Sprintf("%.1f (paper: 174)", r.MeanOpsRatio)})
+	return "Figure 1(a): writes over reads per month\n" +
+		table([]string{"month", "bytes W/R", "ops W/R"}, rows)
+}
+
+// Fig1bResult is the read-size characterization (Figure 1b).
+type Fig1bResult struct {
+	Hist       *stats.Histogram
+	SmallReads float64 // count share of <=4 MiB reads
+	SmallBytes float64
+	LargeReads float64 // count share of >256 MiB reads
+	LargeBytes float64
+}
+
+// Fig1b samples the read-size distribution.
+func Fig1b(n int, seed uint64) Fig1bResult {
+	h := workload.ReadSizeCharacterization(n, seed)
+	cs, ss := h.CountShare(), h.SumShare()
+	r := Fig1bResult{Hist: h}
+	for i := range cs {
+		if i == 0 {
+			r.SmallReads += cs[i]
+			r.SmallBytes += ss[i]
+		}
+		if i >= 4 { // buckets above 256 MiB
+			r.LargeReads += cs[i]
+			r.LargeBytes += ss[i]
+		}
+	}
+	return r
+}
+
+func (r Fig1bResult) String() string {
+	labels := []string{"<=4MiB", "16MiB", "64MiB", "256MiB", "1GiB", "4GiB",
+		"16GiB", "64GiB", "256GiB", "1TiB", "4TiB", "16TiB", ">16TiB"}
+	cs, ss := r.Hist.CountShare(), r.Hist.SumShare()
+	var rows [][]string
+	for i := range cs {
+		rows = append(rows, []string{labels[i],
+			fmt.Sprintf("%.2f%%", 100*cs[i]),
+			fmt.Sprintf("%.2f%%", 100*ss[i])})
+	}
+	s := "Figure 1(b): reads and bytes by file size\n" +
+		table([]string{"bucket", "% of reads", "% of bytes"}, rows)
+	s += fmt.Sprintf("<=4MiB: %.1f%% of reads (paper 58.7%%), %.2f%% of bytes (paper 1.2%%)\n",
+		100*r.SmallReads, 100*r.SmallBytes)
+	s += fmt.Sprintf(">256MiB: %.1f%% of reads (paper <2%%), %.1f%% of bytes (paper ~85%%)\n",
+		100*r.LargeReads, 100*r.LargeBytes)
+	return s
+}
+
+// Fig1cResult is the per-DC heterogeneity (Figure 1c).
+type Fig1cResult struct {
+	Ratios []float64 // tail/median per DC, ranked descending
+}
+
+// Fig1c models 30 data centers over six months of hourly rates.
+func Fig1c(seed uint64) Fig1cResult {
+	return Fig1cResult{Ratios: workload.DataCenterHeterogeneity(30, 6*30*24, seed)}
+}
+
+func (r Fig1cResult) String() string {
+	var rows [][]string
+	for i, v := range r.Ratios {
+		rows = append(rows, []string{fmt.Sprintf("%d", i+1), fmt.Sprintf("%.2e", v)})
+	}
+	return "Figure 1(c): tail/median hourly read rate across data centers\n" +
+		table([]string{"rank", "p99.9/median"}, rows)
+}
+
+// Fig2Result is the ingress-smoothing curve (Figure 2).
+type Fig2Result struct {
+	Windows []int
+	Ratios  []float64
+}
+
+// Fig2 evaluates peak-over-mean ingress across aggregation windows.
+func Fig2(seed uint64) Fig2Result {
+	daily := workload.DailyIngress(360, seed)
+	windows := []int{1, 2, 5, 10, 15, 20, 30, 45, 60}
+	return Fig2Result{Windows: windows, Ratios: workload.PeakOverMeanCurve(daily, windows)}
+}
+
+func (r Fig2Result) String() string {
+	var rows [][]string
+	for i, w := range r.Windows {
+		rows = append(rows, []string{fmt.Sprintf("%d", w), fmt.Sprintf("%.2f", r.Ratios[i])})
+	}
+	return "Figure 2: peak/mean ingress vs aggregation window (paper: ~16 at 1 day, ~2 at 30+)\n" +
+		table([]string{"window (days)", "peak/mean"}, rows)
+}
+
+// Fig3Result summarizes the mechanical operation models (Figure 3).
+type Fig3Result struct {
+	HorizontalTimes map[float64]float64 // distance -> fast-phase time
+	Crab            *stats.Sample
+	Pick            *stats.Sample
+	Place           *stats.Sample
+	Seek            *stats.Sample
+}
+
+// Fig3 samples every mechanical model.
+func Fig3(samples int, seed uint64) Fig3Result {
+	m := mechanics.Default()
+	rng := sim.NewRNG(seed)
+	r := Fig3Result{
+		HorizontalTimes: map[float64]float64{},
+		Crab:            stats.NewSample(),
+		Pick:            stats.NewSample(),
+		Place:           stats.NewSample(),
+		Seek:            stats.NewSample(),
+	}
+	for _, d := range []float64{0.5, 1, 2, 5, 10, 12} {
+		r.HorizontalTimes[d] = m.HorizontalTime(d) + m.FineTune
+	}
+	for i := 0; i < samples; i++ {
+		r.Crab.Add(m.Crab.Sample(rng))
+		r.Pick.Add(m.Pick.Sample(rng))
+		r.Place.Add(m.Place.Sample(rng))
+		r.Seek.Add(m.Seek.Sample(rng))
+	}
+	return r
+}
+
+func (r Fig3Result) String() string {
+	var rows [][]string
+	for _, d := range []float64{0.5, 1, 2, 5, 10, 12} {
+		rows = append(rows, []string{fmt.Sprintf("%.1f m", d),
+			fmt.Sprintf("%.2f s", r.HorizontalTimes[d])})
+	}
+	s := "Figure 3(a): horizontal motion (fast phase + 0.5 s fine tune)\n" +
+		table([]string{"distance", "time"}, rows)
+	s += fmt.Sprintf("Figure 3(b): crabbing median %.3f s, p86 %.3f s, max %.3f s (paper: 86%% <= 3 s, max 3.02 s)\n",
+		r.Crab.Median(), r.Crab.Quantile(0.86), r.Crab.Max())
+	s += fmt.Sprintf("Figure 3(c): pick mean %.3f s vs place mean %.3f s (paper: pick ~170 ms slower)\n",
+		r.Pick.Mean(), r.Place.Mean())
+	s += fmt.Sprintf("Figure 3(d): seek median %.2f s, max %.2f s (paper: 0.6 s / 2 s)\n",
+		r.Seek.Median(), r.Seek.Max())
+	return s
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one platter-set configuration.
+type Table1Row struct {
+	Info, Red     int
+	WriteOverhead float64
+	StorageRacks  int
+}
+
+// Table1 computes write overhead and minimum storage racks for the
+// paper's three platter-set shapes.
+func Table1() Table1Result {
+	var out Table1Result
+	for _, c := range [][2]int{{12, 3}, {16, 3}, {24, 3}} {
+		out.Rows = append(out.Rows, Table1Row{
+			Info: c[0], Red: c[1],
+			WriteOverhead: layout.WriteOverhead(c[0], c[1]),
+			StorageRacks:  layout.MinStorageRacks(c[0]+c[1], 10),
+		})
+	}
+	return out
+}
+
+func (r Table1Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d+%d", row.Info, row.Red),
+			fmt.Sprintf("%.1f%%", 100*row.WriteOverhead),
+			fmt.Sprintf("%d", row.StorageRacks),
+		})
+	}
+	return "Table 1: platter-set write overhead and storage racks (paper: 25%/6, 18.8%/7, 12.5%/10)\n" +
+		table([]string{"I+R", "write overhead", "storage racks"}, rows)
+}
+
+// DurabilityResult is the §6 durability calculation.
+type DurabilityResult struct {
+	SectorFailP float64
+	TrackFailP  float64
+	Overheads   map[string]float64
+}
+
+// Durability evaluates the §6 numbers: with ~8% in-track redundancy at
+// sector failure probability 1e-3, track decode failure is negligible.
+func Durability() DurabilityResult {
+	h, err := nc.NewHierarchy(nc.Cauchy, 1)
+	if err != nil {
+		panic(err)
+	}
+	return DurabilityResult{
+		SectorFailP: 1e-3,
+		TrackFailP:  nc.TrackDecodeFailureProb(nc.DefaultWithinTrack, 1e-3),
+		Overheads: map[string]float64{
+			"within-track": h.WithinTrack.Overhead(),
+			"large-group":  h.LargeGroup.Overhead(),
+			"in-platter":   h.TotalInPlatterOverhead(),
+			"platter-set":  h.PlatterSet.Overhead(),
+		},
+	}
+}
+
+func (r DurabilityResult) String() string {
+	return fmt.Sprintf(
+		"Durability (§6): sector failure p=%.0e -> track decode failure p=%.2e\n"+
+			"overheads: within-track %.1f%%, large-group %.1f%%, in-platter %.1f%%, platter-set %.1f%%\n",
+		r.SectorFailP, r.TrackFailP,
+		100*r.Overheads["within-track"], 100*r.Overheads["large-group"],
+		100*r.Overheads["in-platter"], 100*r.Overheads["platter-set"])
+}

@@ -1,0 +1,222 @@
+package geometry
+
+import "fmt"
+
+// Partition is one of the n rectangular logical segments the traffic
+// manager carves the panel into (§4.1): a band of rail positions and a
+// span of x, containing at least one read-drive slot. Under normal
+// operation exactly one shuttle works each partition and never leaves
+// it, which eliminates congestion away from partition boundaries.
+type Partition struct {
+	ID             int
+	RailLo, RailHi int     // rail-position band, [lo, hi)
+	X0, X1         float64 // storage span, [x0, x1)
+	Drives         []DriveAddr
+	// DriveRackX0/X1 extend the partition over its read rack so travel
+	// to the drive stays inside the partition.
+	DriveRackX0, DriveRackX1 float64
+}
+
+// ContainsRail reports whether a rail position is inside the band.
+func (p *Partition) ContainsRail(rail int) bool {
+	return rail >= p.RailLo && rail < p.RailHi
+}
+
+// ContainsSlotPos reports whether a storage position belongs to the
+// partition.
+func (p *Partition) ContainsSlotPos(pos Pos) bool {
+	return p.ContainsRail(pos.Rail) && pos.X >= p.X0 && pos.X < p.X1
+}
+
+// Home returns a representative resting position for the partition's
+// shuttle: the center of its storage span at the lowest rail.
+func (p *Partition) Home() Pos {
+	return Pos{X: (p.X0 + p.X1) / 2, Rail: p.RailLo}
+}
+
+// BuildPartitions splits the panel into n partitions. Storage racks
+// are divided between the read racks (each read rack serves the
+// storage closest to it); each side is split into contiguous rail
+// bands, and bands split again along x when n exceeds the rail count.
+// Every partition is assigned the drives whose shelf level falls in
+// its band, or the nearest drive when the band has none; a drive may
+// serve two partitions (its two platter slots make that physical, §4).
+func BuildPartitions(l *Layout, n int) ([]Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("geometry: need at least one partition, got %d", n)
+	}
+	readRacks := l.ReadRacks()
+	storage := l.StorageRacks()
+	if len(readRacks) == 0 || len(storage) == 0 {
+		return nil, fmt.Errorf("geometry: layout lacks read or storage racks")
+	}
+	// A drive offers two platter slots (verification + customer), so
+	// the panel supports at most 2 shuttles per drive (§4: "the number
+	// of shuttles active on a panel is limited to twice the number of
+	// read drives").
+	if n > 2*l.NumDrives() {
+		return nil, fmt.Errorf("geometry: %d partitions exceed 2x%d drive limit", n, l.NumDrives())
+	}
+
+	// Assign each storage rack to the nearest read rack ("half").
+	type half struct {
+		readRacks []int
+		racks     []int
+	}
+	halves := make([]half, len(readRacks))
+	for i, rr := range readRacks {
+		halves[i].readRacks = []int{rr}
+	}
+	for _, sr := range storage {
+		best, bestDist := 0, 1<<30
+		for i, rr := range readRacks {
+			d := sr - rr
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		halves[best].racks = append(halves[best].racks, sr)
+	}
+	// Drop halves with no storage (can happen with many read racks).
+	kept := halves[:0]
+	for _, h := range halves {
+		if len(h.racks) > 0 {
+			kept = append(kept, h)
+		}
+	}
+	halves = kept
+
+	// With fewer partitions than halves some halves would go
+	// uncovered; merge everything into a single region in that case
+	// (drives of all read racks pool together).
+	if n < len(halves) {
+		var merged half
+		for _, h := range halves {
+			merged.readRacks = append(merged.readRacks, h.readRacks...)
+			merged.racks = append(merged.racks, h.racks...)
+		}
+		halves = []half{merged}
+	}
+
+	// Distribute n partitions across halves proportionally to storage.
+	totalRacks := 0
+	for _, h := range halves {
+		totalRacks += len(h.racks)
+	}
+	counts := make([]int, len(halves))
+	assigned := 0
+	for i, h := range halves {
+		counts[i] = n * len(h.racks) / totalRacks
+		assigned += counts[i]
+	}
+	for i := 0; assigned < n; i = (i + 1) % len(halves) {
+		counts[i]++
+		assigned++
+	}
+	// Every half must keep at least one partition (n >= len(halves)
+	// holds after the merge above).
+	for i := range counts {
+		for counts[i] == 0 {
+			maxI := 0
+			for j := range counts {
+				if counts[j] > counts[maxI] {
+					maxI = j
+				}
+			}
+			counts[maxI]--
+			counts[i]++
+		}
+	}
+
+	var out []Partition
+	rails := l.ShelvesPerRack
+	for hi, h := range halves {
+		nh := counts[hi]
+		if nh == 0 {
+			continue
+		}
+		hx0 := float64(h.racks[0]) * RackWidth
+		hx1 := float64(h.racks[len(h.racks)-1]+1) * RackWidth
+		drx0 := l.Racks[h.readRacks[0]].X0
+		drx1 := float64(h.readRacks[len(h.readRacks)-1]+1) * RackWidth
+
+		bands := nh
+		if bands > rails {
+			bands = rails
+		}
+		// Partitions per band, spread as evenly as possible.
+		perBand := make([]int, bands)
+		for i := 0; i < nh; i++ {
+			perBand[i%bands]++
+		}
+		railCursor := 0
+		for b := 0; b < bands; b++ {
+			lo := railCursor
+			hiRail := lo + (rails-railCursor)/(bands-b)
+			railCursor = hiRail
+			cols := perBand[b]
+			for c := 0; c < cols; c++ {
+				x0 := hx0 + (hx1-hx0)*float64(c)/float64(cols)
+				x1 := hx0 + (hx1-hx0)*float64(c+1)/float64(cols)
+				out = append(out, Partition{
+					ID:          len(out),
+					RailLo:      lo,
+					RailHi:      hiRail,
+					X0:          x0,
+					X1:          x1,
+					DriveRackX0: drx0,
+					DriveRackX1: drx1,
+				})
+			}
+		}
+		// Assign drives of this half's read racks to its partitions.
+		start := len(out) - nh
+		for _, rr := range h.readRacks {
+			for d := 0; d < l.DrivesPerReadRack; d++ {
+				addr := DriveAddr{Rack: rr, Drive: d}
+				shelf := DrivePosShelf(l, addr)
+				// All partitions of this half whose band contains the
+				// drive's shelf get it.
+				any := false
+				for i := start; i < len(out); i++ {
+					if out[i].ContainsRail(shelf) {
+						out[i].Drives = append(out[i].Drives, addr)
+						any = true
+					}
+				}
+				if !any {
+					// Shelf outside every band (cannot happen with
+					// contiguous bands covering all rails, but keep safe).
+					out[start].Drives = append(out[start].Drives, addr)
+				}
+			}
+		}
+		// Partitions whose band has no drive shelf borrow the nearest
+		// drive by shelf distance.
+		for i := start; i < len(out); i++ {
+			if len(out[i].Drives) > 0 {
+				continue
+			}
+			best := DriveAddr{Rack: h.readRacks[0]}
+			bestDist := 1 << 30
+			for _, rr := range h.readRacks {
+				for d := 0; d < l.DrivesPerReadRack; d++ {
+					addr := DriveAddr{Rack: rr, Drive: d}
+					shelf := DrivePosShelf(l, addr)
+					dist := shelf - out[i].RailLo
+					if dist < 0 {
+						dist = -dist
+					}
+					if dist < bestDist {
+						best, bestDist = addr, dist
+					}
+				}
+			}
+			out[i].Drives = append(out[i].Drives, best)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+// Package integration exercises end-to-end scenarios that span
+// multiple subsystems: the full archive lifecycle on the real data
+// path, the library digital twin feeding the decode stack, multi-
+// library deployments under generated traces, metadata disaster
+// recovery from platter headers, and a kitchen-sink run with every
+// optional subsystem enabled at once.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"silica/internal/controller"
+	"silica/internal/core"
+	"silica/internal/deployment"
+	"silica/internal/library"
+	"silica/internal/media"
+	"silica/internal/metadata"
+	"silica/internal/service"
+	"silica/internal/sim"
+	"silica/internal/workload"
+)
+
+func randBytes(seed uint64, n int) []byte {
+	r := sim.NewRNG(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Uint64())
+	}
+	return out
+}
+
+// TestArchiveLifecycleToRecycling drives a file population through
+// put/flush/read/delete and verifies the §3 recycling condition: a
+// platter whose live data reaches zero may be melted down.
+func TestArchiveLifecycleToRecycling(t *testing.T) {
+	svc, err := service.New(service.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("f%d", i)
+		files[name] = randBytes(uint64(i+1), 4000+i*1000)
+		if _, err := svc.Put("acct", name, files[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything reads back.
+	for name, want := range files {
+		got, err := svc.Get("acct", name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: mismatch", name)
+		}
+	}
+	// Find the platter(s) holding the files, delete everything on
+	// them, and verify the live-bytes counter hits zero.
+	meta := svc.Metadata()
+	platters := map[media.PlatterID]bool{}
+	for name := range files {
+		v, err := meta.Get(metadata.FileKey{Account: "acct", Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range v.Extents {
+			platters[e.Platter] = true
+		}
+	}
+	for name := range files {
+		if err := svc.Delete("acct", name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := range platters {
+		if live := meta.LiveBytesOnPlatter(p); live != 0 {
+			t.Fatalf("platter %d still has %d live sectors after all deletes", p, live)
+		}
+	}
+}
+
+// TestLibraryFeedsDecodeStack runs a trace through the digital twin
+// and the decode stack together (§3.2's disaggregation) and checks
+// decode SLOs hold.
+func TestLibraryFeedsDecodeStack(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Library.Platters = 400
+	cfg.Library.Seed = 9
+	cfg.Decode.MaxWorkers = 128
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(workload.TraceConfig{
+		Profile:       workload.IOPS,
+		Duration:      3600,
+		Platters:      400,
+		TracksPerFile: workload.TracksFor(10e6),
+		TrackBytes:    10e6,
+		RateScale:     0.3,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sys.SimulateTraceWithDecode(tr, 15*3600, 1800)
+	if out.ReadTails.N() == 0 {
+		t.Fatal("no reads completed")
+	}
+	if out.DecodeTails.N() != out.ReadTails.N() {
+		t.Fatalf("decode jobs %d != reads %d", out.DecodeTails.N(), out.ReadTails.N())
+	}
+	if out.Missed != 0 {
+		t.Fatalf("%d decode SLO misses", out.Missed)
+	}
+	// Decode completion is strictly after read completion.
+	if out.DecodeTails.Mean() <= out.ReadTails.Mean() {
+		t.Fatal("decode time should add to read time")
+	}
+	if out.PeakWorkers < 1 {
+		t.Fatal("decode stack never scaled up")
+	}
+}
+
+// TestDeploymentUnderTrace routes a generated trace across a
+// three-library deployment with some platters failed.
+func TestDeploymentUnderTrace(t *testing.T) {
+	cfg := deployment.DefaultConfig()
+	cfg.TotalPlatters = 1900
+	cfg.Library.Platters = 0
+	cfg.Seed = 17
+	d, err := deployment.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a handful of platters spread around.
+	for i := 0; i < 20; i++ {
+		d.MarkUnavailable(media.PlatterID(i * 95))
+	}
+	tr, err := workload.Generate(workload.TraceConfig{
+		Profile:       workload.Typical,
+		Duration:      3600,
+		Platters:      1900,
+		TracksPerFile: workload.TracksFor(10e6),
+		TrackBytes:    10e6,
+		RateScale:     0.5,
+		Seed:          17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests {
+		d.Submit(r)
+	}
+	d.Run(tr.CoreEnd)
+	if d.Completions().N() == 0 {
+		t.Fatal("nothing completed")
+	}
+	if d.Unrecoverable > 0 {
+		t.Fatalf("%d unrecoverable with only scattered failures", d.Unrecoverable)
+	}
+	if d.InternalReads == 0 {
+		t.Fatal("failed platters should have triggered recovery reads")
+	}
+	loads := d.LibraryLoads()
+	for l, load := range loads {
+		if load == 0 {
+			t.Fatalf("library %d idle", l)
+		}
+	}
+}
+
+// TestMetadataDisasterRecovery simulates losing the metadata service:
+// rebuild the index from platter self-descriptive headers and verify
+// every mapping survives (§6).
+func TestMetadataDisasterRecovery(t *testing.T) {
+	svc, err := service.New(service.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma"}
+	for i, n := range names {
+		if _, err := svc.Put("acct", n, randBytes(uint64(i+40), 3000+500*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta := svc.Metadata()
+	// Scan "all platters" for headers and rebuild.
+	var headers [][]metadata.HeaderEntry
+	for p := media.PlatterID(0); p < 50; p++ {
+		if h := meta.PlatterHeader(p); len(h) > 0 {
+			headers = append(headers, h)
+		}
+	}
+	if len(headers) == 0 {
+		t.Fatal("no headers found")
+	}
+	rebuilt := metadata.RebuildFromHeaders(headers)
+	for _, n := range names {
+		orig, err := meta.Get(metadata.FileKey{Account: "acct", Name: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := rebuilt.Get(metadata.FileKey{Account: "acct", Name: n})
+		if err != nil {
+			t.Fatalf("%s lost in rebuild: %v", n, err)
+		}
+		if rec.Size != orig.Size || rec.KeyID != orig.KeyID || len(rec.Extents) != len(orig.Extents) {
+			t.Fatalf("%s rebuilt as %+v, want %+v", n, rec, orig)
+		}
+		for i := range rec.Extents {
+			if rec.Extents[i] != orig.Extents[i] {
+				t.Fatalf("%s extent %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestKitchenSink enables every optional subsystem at once — write
+// path, batteries, work stealing, prefetch, platter unavailability —
+// and checks the run completes coherently.
+func TestKitchenSink(t *testing.T) {
+	cfg := library.DefaultConfig()
+	cfg.Platters = 400
+	cfg.Seed = 23
+	cfg.Prefetch = true
+	cfg.ProactiveStealing = true
+	cfg.WritePath = library.WritePathConfig{
+		Enabled: true, Throughput: 400e6, Platters: 5, Concurrent: 2,
+	}
+	cfg.Battery = library.BatteryConfig{Capacity: 2000, Reserve: 300, ChargeRate: 10}
+	lib, err := library.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.MarkUnavailable(0.03)
+	tr, err := workload.Generate(workload.TraceConfig{
+		Profile:       workload.IOPS,
+		Duration:      3600,
+		Platters:      400,
+		TracksPerFile: workload.TracksFor(10e6),
+		TrackBytes:    10e6,
+		RateScale:     0.3,
+		Seed:          23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]*controller.Request, len(tr.Requests))
+	copy(reqs, tr.Requests)
+	lib.RunTrace(reqs, tr.CoreEnd)
+	m := lib.Metrics()
+	if m.Completions.N() == 0 {
+		t.Fatal("no completions")
+	}
+	if m.Completions.N()+m.Unrecoverable < m.Submitted-m.InternalReads {
+		t.Fatalf("requests lost: %d completed + %d unrecoverable of %d",
+			m.Completions.N(), m.Unrecoverable, m.Submitted)
+	}
+	if m.PlattersVerified != 5 || m.PlattersStored != 5 {
+		t.Fatalf("write path incomplete: %d/%d", m.PlattersVerified, m.PlattersStored)
+	}
+	if m.InternalReads == 0 {
+		t.Fatal("unavailability should trigger recovery")
+	}
+}

@@ -1,0 +1,138 @@
+// Package keystore implements per-file envelope encryption and
+// crypto-shredding deletes. Glass is WORM, so Silica cannot erase
+// bytes; §3 of the paper: "deletes are handled by encryption key
+// deletion for the file and removing pointers to it from the metadata".
+// Keys live in a (simulated) warm, mutable store; destroying a file's
+// key renders its immutable ciphertext permanently unreadable.
+package keystore
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrNoKey is returned when a file's key is absent — either never
+// created or already shredded.
+var ErrNoKey = errors.New("keystore: no key (never created or shredded)")
+
+// ErrExists is returned when creating a key that already exists.
+var ErrExists = errors.New("keystore: key already exists")
+
+const keyBytes = 32 // AES-256
+
+// Overhead is the ciphertext expansion: the IV prepended by Encrypt.
+const Overhead = aes.BlockSize
+
+// Store is an in-memory key service. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+	// shredded remembers destroyed keys so double-shredding and
+	// accidental re-creation surface as errors rather than silently
+	// resurrecting "deleted" data.
+	shredded map[string]bool
+}
+
+// New returns an empty key store.
+func New() *Store {
+	return &Store{keys: make(map[string][]byte), shredded: make(map[string]bool)}
+}
+
+// CreateKey generates and stores a fresh AES-256 key for id.
+func (s *Store) CreateKey(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.keys[id]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if s.shredded[id] {
+		return fmt.Errorf("keystore: %q was shredded; ids are single-use", id)
+	}
+	k := make([]byte, keyBytes)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return fmt.Errorf("keystore: generating key: %w", err)
+	}
+	s.keys[id] = k
+	return nil
+}
+
+// HasKey reports whether id currently has a live key.
+func (s *Store) HasKey(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.keys[id]
+	return ok
+}
+
+// Encrypt seals plaintext under id's key with AES-256-CTR and a random
+// IV. The ciphertext layout is IV || body.
+func (s *Store) Encrypt(id string, plaintext []byte) ([]byte, error) {
+	s.mu.RLock()
+	key, ok := s.keys[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoKey, id)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: %w", err)
+	}
+	out := make([]byte, aes.BlockSize+len(plaintext))
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("keystore: generating IV: %w", err)
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[aes.BlockSize:], plaintext)
+	return out, nil
+}
+
+// Decrypt opens a ciphertext produced by Encrypt. After Shred(id) this
+// permanently fails with ErrNoKey.
+func (s *Store) Decrypt(id string, ciphertext []byte) ([]byte, error) {
+	s.mu.RLock()
+	key, ok := s.keys[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoKey, id)
+	}
+	if len(ciphertext) < aes.BlockSize {
+		return nil, fmt.Errorf("keystore: ciphertext shorter than IV")
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("keystore: %w", err)
+	}
+	out := make([]byte, len(ciphertext)-aes.BlockSize)
+	cipher.NewCTR(block, ciphertext[:aes.BlockSize]).XORKeyStream(out, ciphertext[aes.BlockSize:])
+	return out, nil
+}
+
+// Shred destroys id's key, zeroing the key material. The data it
+// protected — however many immutable copies exist in glass — becomes
+// unrecoverable. This is the delete primitive of the service.
+func (s *Store) Shred(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.keys[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoKey, id)
+	}
+	for i := range key {
+		key[i] = 0
+	}
+	delete(s.keys, id)
+	s.shredded[id] = true
+	return nil
+}
+
+// LiveKeys reports the number of live keys (files not yet deleted).
+func (s *Store) LiveKeys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keys)
+}

@@ -1,0 +1,130 @@
+package keystore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.CreateKey("f1"); err != nil {
+		t.Fatal(err)
+	}
+	err := quick.Check(func(plain []byte) bool {
+		ct, err := s.Encrypt("f1", plain)
+		if err != nil {
+			return false
+		}
+		pt, err := s.Decrypt("f1", ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, plain)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	s := New()
+	if err := s.CreateKey("f1"); err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte("archive"), 100)
+	ct, err := s.Encrypt("f1", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, plain[:16]) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	// Two encryptions of the same plaintext must differ (random IV).
+	ct2, _ := s.Encrypt("f1", plain)
+	if bytes.Equal(ct, ct2) {
+		t.Fatal("deterministic ciphertext (IV reuse?)")
+	}
+}
+
+func TestWrongKeyGarbles(t *testing.T) {
+	s := New()
+	s.CreateKey("a")
+	s.CreateKey("b")
+	plain := []byte("the contents of file a")
+	ct, _ := s.Encrypt("a", plain)
+	got, err := s.Decrypt("b", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, plain) {
+		t.Fatal("different key decrypted successfully")
+	}
+}
+
+// TestShredIsPermanent is the §3 delete semantics: once the key is
+// gone, the immutable glass copy is unreadable forever.
+func TestShredIsPermanent(t *testing.T) {
+	s := New()
+	s.CreateKey("doomed")
+	ct, _ := s.Encrypt("doomed", []byte("secret archive"))
+	if err := s.Shred("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decrypt("doomed", ct); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("decrypt after shred: %v, want ErrNoKey", err)
+	}
+	if _, err := s.Encrypt("doomed", []byte("x")); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("encrypt after shred: %v, want ErrNoKey", err)
+	}
+	// The id cannot be resurrected with a new key.
+	if err := s.CreateKey("doomed"); err == nil {
+		t.Fatal("shredded id re-created")
+	}
+	if err := s.Shred("doomed"); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("double shred: %v, want ErrNoKey", err)
+	}
+}
+
+func TestCreateKeyDuplicate(t *testing.T) {
+	s := New()
+	s.CreateKey("x")
+	if err := s.CreateKey("x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+}
+
+func TestMissingKeyErrors(t *testing.T) {
+	s := New()
+	if _, err := s.Encrypt("nope", []byte("x")); !errors.Is(err, ErrNoKey) {
+		t.Fatal("encrypt without key should fail")
+	}
+	if _, err := s.Decrypt("nope", make([]byte, 32)); !errors.Is(err, ErrNoKey) {
+		t.Fatal("decrypt without key should fail")
+	}
+	if s.HasKey("nope") {
+		t.Fatal("HasKey on missing id")
+	}
+}
+
+func TestShortCiphertextRejected(t *testing.T) {
+	s := New()
+	s.CreateKey("x")
+	if _, err := s.Decrypt("x", []byte{1, 2, 3}); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestLiveKeys(t *testing.T) {
+	s := New()
+	s.CreateKey("a")
+	s.CreateKey("b")
+	if s.LiveKeys() != 2 {
+		t.Fatalf("live keys = %d", s.LiveKeys())
+	}
+	s.Shred("a")
+	if s.LiveKeys() != 1 {
+		t.Fatalf("live keys after shred = %d", s.LiveKeys())
+	}
+}

@@ -1,0 +1,62 @@
+// Package ldpc implements the intra-sector error correction layer of
+// Silica (§5): binary low-density parity-check codes. Each glass sector
+// is protected by LDPC against read-time errors (stochastic sensor
+// noise) with a per-sector checksum verifying the decode, exactly as the
+// paper describes. Construction is a regular Gallager ensemble; decoding
+// is normalized min-sum belief propagation over the soft per-voxel
+// posteriors produced by the decode stack, with a hard-decision
+// bit-flipping decoder available as a cheap fallback.
+package ldpc
+
+// bitset is a packed bit vector used during encoder construction and
+// encoding, little-endian within each word.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i>>6]>>(uint(i)&63)&1 == 1 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) flip(i int) { b[i>>6] ^= 1 << (uint(i) & 63) }
+
+// xor accumulates other into b.
+func (b bitset) xor(other bitset) {
+	for i := range b {
+		b[i] ^= other[i]
+	}
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// BytesToBits unpacks bytes LSB-first into a 0/1 slice of length 8*len(p).
+func BytesToBits(p []byte) []uint8 {
+	out := make([]uint8, 8*len(p))
+	for i, b := range p {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = uint8(b >> uint(j) & 1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs a 0/1 slice LSB-first. len(bits) must be a multiple
+// of 8.
+func BitsToBytes(bits []uint8) []byte {
+	if len(bits)%8 != 0 {
+		panic("ldpc: bit count not byte aligned")
+	}
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b |= byte(bits[i*8+j]&1) << uint(j)
+		}
+		out[i] = b
+	}
+	return out
+}

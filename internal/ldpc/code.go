@@ -1,0 +1,255 @@
+package ldpc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"silica/internal/sim"
+)
+
+// Code is a binary LDPC code with block length N, dimension K, and
+// M = N-K parity checks. The parity-check matrix is a regular Gallager
+// ensemble with column weight ColWeight. The code is systematic in the
+// sense that K "data positions" carry the message verbatim and M
+// "parity positions" carry computed parity; the position maps are part
+// of the code.
+type Code struct {
+	N, K, M   int
+	ColWeight int
+
+	// Sparse parity-check structure, used by the decoders.
+	checkVars [][]int32 // per check row: variable indices
+	varChecks [][]int32 // per variable: check row indices
+
+	// Encoder: parity[i] = encRows[i] · message (GF(2) dot product).
+	encRows []bitset
+
+	dataPos   []int // message bit -> codeword position
+	parityPos []int // parity bit -> codeword position
+	posIsData []bool
+}
+
+// NewCode constructs an LDPC code with block length n and dimension k
+// (so m = n-k checks), column weight 3, from the given seed. It retries
+// a handful of random constructions until the parity-check matrix has
+// full row rank (needed for systematic encoding); failure after the
+// retries returns an error.
+func NewCode(n, k int, seed uint64) (*Code, error) {
+	if n <= 0 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("ldpc: invalid dimensions n=%d k=%d", n, k)
+	}
+	const colWeight = 3
+	m := n - k
+	if m < colWeight {
+		return nil, fmt.Errorf("ldpc: too few checks (m=%d) for column weight %d", m, colWeight)
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		rng := sim.NewRNG(seed + uint64(attempt)*0x9e3779b9)
+		c, ok := tryConstruct(n, k, colWeight, rng)
+		if ok {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("ldpc: could not build full-rank code n=%d k=%d", n, k)
+}
+
+// MustNewCode is NewCode for compiled-in parameters.
+func MustNewCode(n, k int, seed uint64) *Code {
+	c, err := NewCode(n, k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func tryConstruct(n, k, colWeight int, rng *sim.RNG) (*Code, bool) {
+	m := n - k
+	// Gallager-style construction: deal each column's colWeight edges to
+	// distinct rows, keeping row weights balanced by drawing from a
+	// shuffled pool of row slots.
+	pool := make([]int32, 0, n*colWeight)
+	for len(pool) < n*colWeight {
+		perm := rng.Perm(m)
+		for _, r := range perm {
+			pool = append(pool, int32(r))
+		}
+	}
+	checkVars := make([][]int32, m)
+	varChecks := make([][]int32, n)
+	idx := 0
+	for v := 0; v < n; v++ {
+		seen := make(map[int32]bool, colWeight)
+		for len(varChecks[v]) < colWeight {
+			if idx >= len(pool) {
+				// Pool exhausted by duplicate skips; draw directly.
+				r := int32(rng.Intn(m))
+				if seen[r] {
+					continue
+				}
+				seen[r] = true
+				varChecks[v] = append(varChecks[v], r)
+				checkVars[r] = append(checkVars[r], int32(v))
+				continue
+			}
+			r := pool[idx]
+			idx++
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			varChecks[v] = append(varChecks[v], r)
+			checkVars[r] = append(checkVars[r], int32(v))
+		}
+	}
+	// Every check must touch at least two variables for BP to be useful.
+	for _, vs := range checkVars {
+		if len(vs) < 2 {
+			return nil, false
+		}
+	}
+
+	// Build the dense H for elimination: m rows of n bits.
+	rows := make([]bitset, m)
+	for r := range rows {
+		rows[r] = newBitset(n)
+		for _, v := range checkVars[r] {
+			rows[r].set(int(v))
+		}
+	}
+	// Gauss-eliminate to find m pivot columns (parity positions) and the
+	// encoder. Track row operations on an augmented identity so we can
+	// express each eliminated row in terms of original rows — but for
+	// encoding we only need the reduced rows themselves.
+	work := make([]bitset, m)
+	for i := range work {
+		work[i] = rows[i].clone()
+	}
+	pivotCol := make([]int, 0, m)
+	isPivot := make([]bool, n)
+	rank := 0
+	for col := 0; col < n && rank < m; col++ {
+		sel := -1
+		for r := rank; r < m; r++ {
+			if work[r].get(col) {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		work[rank], work[sel] = work[sel], work[rank]
+		for r := 0; r < m; r++ {
+			if r != rank && work[r].get(col) {
+				work[r].xor(work[rank])
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		isPivot[col] = true
+		rank++
+	}
+	if rank < m {
+		return nil, false
+	}
+	// After full reduction, row i reads: x[pivotCol[i]] = sum of x[c] for
+	// non-pivot columns c set in work[i]. Data positions are the
+	// non-pivot columns; parity i is computed from the data bits.
+	dataPos := make([]int, 0, k)
+	for col := 0; col < n; col++ {
+		if !isPivot[col] {
+			dataPos = append(dataPos, col)
+		}
+	}
+	colToData := make([]int, n)
+	for i := range colToData {
+		colToData[i] = -1
+	}
+	for i, c := range dataPos {
+		colToData[c] = i
+	}
+	encRows := make([]bitset, m)
+	for i := 0; i < m; i++ {
+		encRows[i] = newBitset(k)
+		row := work[i]
+		for col := 0; col < n; col++ {
+			if col == pivotCol[i] {
+				continue
+			}
+			if row.get(col) {
+				d := colToData[col]
+				if d < 0 {
+					// A second pivot column set in this row would
+					// contradict full reduction.
+					return nil, false
+				}
+				encRows[i].set(d)
+			}
+		}
+	}
+	posIsData := make([]bool, n)
+	for _, c := range dataPos {
+		posIsData[c] = true
+	}
+	return &Code{
+		N: n, K: k, M: m, ColWeight: colWeight,
+		checkVars: checkVars,
+		varChecks: varChecks,
+		encRows:   encRows,
+		dataPos:   dataPos,
+		parityPos: pivotCol,
+		posIsData: posIsData,
+	}, true
+}
+
+// Rate reports K/N.
+func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// Encode maps a K-bit message to an N-bit codeword (values 0/1).
+func (c *Code) Encode(msg []uint8) []uint8 {
+	if len(msg) != c.K {
+		panic(fmt.Sprintf("ldpc: message length %d, want %d", len(msg), c.K))
+	}
+	cw := make([]uint8, c.N)
+	for i, pos := range c.dataPos {
+		cw[pos] = msg[i] & 1
+	}
+	for i, row := range c.encRows {
+		var parity uint8
+		for w, word := range row {
+			if word == 0 {
+				continue
+			}
+			base := w * 64
+			for word != 0 {
+				b := base + bits.TrailingZeros64(word)
+				parity ^= msg[b] & 1
+				word &= word - 1
+			}
+		}
+		cw[c.parityPos[i]] = parity
+	}
+	return cw
+}
+
+// Extract returns the K message bits embedded in an N-bit codeword.
+func (c *Code) Extract(cw []uint8) []uint8 {
+	msg := make([]uint8, c.K)
+	for i, pos := range c.dataPos {
+		msg[i] = cw[pos] & 1
+	}
+	return msg
+}
+
+// SyndromeOK reports whether every parity check is satisfied.
+func (c *Code) SyndromeOK(cw []uint8) bool {
+	for _, vars := range c.checkVars {
+		var s uint8
+		for _, v := range vars {
+			s ^= cw[v] & 1
+		}
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}

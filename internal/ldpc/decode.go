@@ -1,0 +1,186 @@
+package ldpc
+
+import "math"
+
+// DecodeResult reports the outcome of a soft decode.
+type DecodeResult struct {
+	Bits       []uint8 // hard-decided codeword (length N)
+	OK         bool    // all parity checks satisfied
+	Iterations int     // BP iterations actually run
+}
+
+// minSumScale is the normalization factor for min-sum BP; 0.75 is the
+// standard choice that closes most of the gap to full sum-product.
+const minSumScale = 0.75
+
+// DecodeBP runs normalized min-sum belief propagation over channel LLRs
+// (positive LLR means "bit is 0", the usual convention). It stops early
+// once the syndrome is satisfied and returns the hard decision either
+// way; OK distinguishes success from decoder failure (which the caller
+// treats as a sector erasure handled by network coding, per §5).
+func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
+	if len(llr) != c.N {
+		panic("ldpc: LLR length mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	// Messages are stored per (check, edge) in check order.
+	// varToCheck[ci][e]: message from variable checkVars[ci][e] to check ci.
+	varToCheck := make([][]float64, c.M)
+	checkToVar := make([][]float64, c.M)
+	for ci, vars := range c.checkVars {
+		varToCheck[ci] = make([]float64, len(vars))
+		checkToVar[ci] = make([]float64, len(vars))
+		for e, v := range vars {
+			varToCheck[ci][e] = llr[v]
+		}
+	}
+	// Per-variable: list of (check, edge) to find incoming messages.
+	type edgeRef struct{ check, edge int32 }
+	varEdges := make([][]edgeRef, c.N)
+	for ci, vars := range c.checkVars {
+		for e, v := range vars {
+			varEdges[v] = append(varEdges[v], edgeRef{int32(ci), int32(e)})
+		}
+	}
+
+	hard := make([]uint8, c.N)
+	posterior := make([]float64, c.N)
+	decide := func() {
+		for v := 0; v < c.N; v++ {
+			sum := llr[v]
+			for _, er := range varEdges[v] {
+				sum += checkToVar[er.check][er.edge]
+			}
+			posterior[v] = sum
+			if sum < 0 {
+				hard[v] = 1
+			} else {
+				hard[v] = 0
+			}
+		}
+	}
+
+	for iter := 1; iter <= maxIter; iter++ {
+		// Check node update (normalized min-sum).
+		for ci := range c.checkVars {
+			in := varToCheck[ci]
+			out := checkToVar[ci]
+			// Find min and second-min of |in|, and the sign product.
+			min1, min2 := math.Inf(1), math.Inf(1)
+			min1Idx := -1
+			signProd := 1.0
+			for e, m := range in {
+				a := math.Abs(m)
+				if a < min1 {
+					min2 = min1
+					min1 = a
+					min1Idx = e
+				} else if a < min2 {
+					min2 = a
+				}
+				if m < 0 {
+					signProd = -signProd
+				}
+			}
+			for e, m := range in {
+				mag := min1
+				if e == min1Idx {
+					mag = min2
+				}
+				s := signProd
+				if m < 0 {
+					s = -s
+				}
+				out[e] = minSumScale * s * mag
+			}
+		}
+		// Variable node update.
+		for v := 0; v < c.N; v++ {
+			total := llr[v]
+			for _, er := range varEdges[v] {
+				total += checkToVar[er.check][er.edge]
+			}
+			for _, er := range varEdges[v] {
+				varToCheck[er.check][er.edge] = total - checkToVar[er.check][er.edge]
+			}
+		}
+		decide()
+		if c.SyndromeOK(hard) {
+			return DecodeResult{Bits: hard, OK: true, Iterations: iter}
+		}
+	}
+	return DecodeResult{Bits: hard, OK: false, Iterations: maxIter}
+}
+
+// DecodeBitFlip runs Gallager-B style hard-decision bit flipping: each
+// iteration flips the bits involved in the most unsatisfied checks. It
+// is far cheaper than BP and corrects light error patterns; the decode
+// stack uses it as a first pass before escalating to BP.
+func (c *Code) DecodeBitFlip(received []uint8, maxIter int) DecodeResult {
+	if len(received) != c.N {
+		panic("ldpc: codeword length mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	cw := make([]uint8, c.N)
+	copy(cw, received)
+	unsat := make([]int, c.N)
+	for iter := 1; iter <= maxIter; iter++ {
+		// Count unsatisfied checks per variable.
+		for i := range unsat {
+			unsat[i] = 0
+		}
+		bad := 0
+		for _, vars := range c.checkVars {
+			var s uint8
+			for _, v := range vars {
+				s ^= cw[v]
+			}
+			if s != 0 {
+				bad++
+				for _, v := range vars {
+					unsat[v]++
+				}
+			}
+		}
+		if bad == 0 {
+			return DecodeResult{Bits: cw, OK: true, Iterations: iter}
+		}
+		// Flip all variables with the maximum number of unsatisfied
+		// checks.
+		max := 0
+		for _, u := range unsat {
+			if u > max {
+				max = u
+			}
+		}
+		if max == 0 {
+			break
+		}
+		for v, u := range unsat {
+			if u == max {
+				cw[v] ^= 1
+			}
+		}
+	}
+	ok := c.SyndromeOK(cw)
+	return DecodeResult{Bits: cw, OK: ok, Iterations: maxIter}
+}
+
+// HardLLR converts hard bits into saturated LLRs for feeding a hard
+// decision into the BP decoder (e.g. when only a binarized read is
+// available). confidence is the magnitude to assign.
+func HardLLR(bits []uint8, confidence float64) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			out[i] = confidence
+		} else {
+			out[i] = -confidence
+		}
+	}
+	return out
+}

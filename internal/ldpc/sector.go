@@ -1,0 +1,118 @@
+package ldpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// SectorCodec frames a glass sector: a user payload plus a CRC32 is
+// split across as many LDPC codewords as needed. The CRC implements the
+// paper's "per-sector checksums to verify that the result of the LDPC
+// decode procedure is correct" (§5); a failed CRC or failed BP decode
+// turns the sector into an erasure for the network-coding layer above.
+type SectorCodec struct {
+	Code         *Code
+	PayloadBytes int // user bytes per sector
+	blocks       int // LDPC codewords per sector
+}
+
+const crcBytes = 4
+
+// NewSectorCodec wraps code to carry payloadBytes of user data per
+// sector.
+func NewSectorCodec(code *Code, payloadBytes int) (*SectorCodec, error) {
+	if payloadBytes <= 0 {
+		return nil, fmt.Errorf("ldpc: payload must be positive, got %d", payloadBytes)
+	}
+	totalBits := (payloadBytes + crcBytes) * 8
+	blocks := (totalBits + code.K - 1) / code.K
+	return &SectorCodec{Code: code, PayloadBytes: payloadBytes, blocks: blocks}, nil
+}
+
+// Blocks reports the number of LDPC codewords per sector.
+func (sc *SectorCodec) Blocks() int { return sc.blocks }
+
+// EncodedBits reports the total coded length of one sector in bits
+// (i.e. the number of channel symbols × bits-per-symbol it occupies).
+func (sc *SectorCodec) EncodedBits() int { return sc.blocks * sc.Code.N }
+
+// StorageOverhead reports coded bits over payload bits.
+func (sc *SectorCodec) StorageOverhead() float64 {
+	return float64(sc.EncodedBits())/float64(sc.PayloadBytes*8) - 1
+}
+
+// EncodeSector maps payload (exactly PayloadBytes long) to the sector's
+// coded bits (length EncodedBits).
+func (sc *SectorCodec) EncodeSector(payload []byte) []uint8 {
+	if len(payload) != sc.PayloadBytes {
+		panic(fmt.Sprintf("ldpc: payload %d bytes, want %d", len(payload), sc.PayloadBytes))
+	}
+	framed := make([]byte, sc.PayloadBytes+crcBytes)
+	copy(framed, payload)
+	binary.LittleEndian.PutUint32(framed[sc.PayloadBytes:], crc32.ChecksumIEEE(payload))
+	bits := BytesToBits(framed)
+	// Zero-pad to a whole number of messages.
+	msgBits := make([]uint8, sc.blocks*sc.Code.K)
+	copy(msgBits, bits)
+	out := make([]uint8, 0, sc.EncodedBits())
+	for b := 0; b < sc.blocks; b++ {
+		out = append(out, sc.Code.Encode(msgBits[b*sc.Code.K:(b+1)*sc.Code.K])...)
+	}
+	return out
+}
+
+// SectorDecode is the outcome of decoding one sector.
+type SectorDecode struct {
+	Payload     []byte
+	OK          bool // decoded and CRC-verified
+	FailedBlock int  // first failing LDPC block, or -1
+	// Margin is the fraction of the iteration budget left unused by the
+	// hardest block, in [0,1]. Verification (§5) records this to decide
+	// whether a file is durably stored: low margin on a fresh platter
+	// predicts trouble as read noise grows over time.
+	Margin     float64
+	Iterations int // total BP iterations across blocks
+}
+
+// DecodeSector decodes a sector from per-bit channel LLRs (length
+// EncodedBits). It runs BP on each block and then verifies the CRC.
+func (sc *SectorCodec) DecodeSector(llr []float64, maxIter int) SectorDecode {
+	if len(llr) != sc.EncodedBits() {
+		panic(fmt.Sprintf("ldpc: llr length %d, want %d", len(llr), sc.EncodedBits()))
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	msgBits := make([]uint8, 0, sc.blocks*sc.Code.K)
+	worst := 0
+	total := 0
+	failed := -1
+	for b := 0; b < sc.blocks; b++ {
+		res := sc.Code.DecodeBP(llr[b*sc.Code.N:(b+1)*sc.Code.N], maxIter)
+		total += res.Iterations
+		if !res.OK && failed < 0 {
+			failed = b
+		}
+		if res.Iterations > worst {
+			worst = res.Iterations
+		}
+		msgBits = append(msgBits, sc.Code.Extract(res.Bits)...)
+	}
+	framedBits := msgBits[:(sc.PayloadBytes+crcBytes)*8]
+	framed := BitsToBytes(framedBits)
+	payload := framed[:sc.PayloadBytes]
+	wantCRC := binary.LittleEndian.Uint32(framed[sc.PayloadBytes:])
+	ok := failed < 0 && crc32.ChecksumIEEE(payload) == wantCRC
+	margin := 1 - float64(worst)/float64(maxIter)
+	if !ok {
+		margin = 0
+	}
+	return SectorDecode{
+		Payload:     payload,
+		OK:          ok,
+		FailedBlock: failed,
+		Margin:      margin,
+		Iterations:  total,
+	}
+}

@@ -1,0 +1,76 @@
+package library
+
+import "testing"
+
+func batteryConfig() Config {
+	cfg := smallConfig(PolicySilica, 10)
+	cfg.Battery = BatteryConfig{
+		Capacity:   600, // a couple dozen platter ops per charge
+		Reserve:    120,
+		ChargeRate: 5,
+	}
+	return cfg
+}
+
+func TestBatteryShuttlesRecharge(t *testing.T) {
+	l, err := New(batteryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeRequests(l, 400, 0.5, 1)
+	l.RunTrace(reqs, 0)
+	if got := l.Metrics().Completions.N(); got != 400 {
+		t.Fatalf("completed %d/400 with battery management", got)
+	}
+	st := l.ShuttleStats()
+	if st.Charges == 0 {
+		t.Fatal("heavy trace should force recharges")
+	}
+	if st.ChargeSecs <= 0 {
+		t.Fatal("charging must take time")
+	}
+	// No shuttle may end below zero: the reserve must trigger before
+	// depletion (reserve covers the worst dock trip).
+	for _, s := range l.shuttles {
+		if s.battery < 0 {
+			t.Fatalf("shuttle %d battery %v < 0", s.id, s.battery)
+		}
+	}
+}
+
+func TestBatteryDisabledByDefault(t *testing.T) {
+	l, err := New(smallConfig(PolicySilica, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeRequests(l, 300, 0.5, 1)
+	l.RunTrace(reqs, 0)
+	if st := l.ShuttleStats(); st.Charges != 0 {
+		t.Fatalf("charges = %d with battery disabled", st.Charges)
+	}
+}
+
+func TestBatterySlowsTheTail(t *testing.T) {
+	tail := func(battery bool) float64 {
+		cfg := smallConfig(PolicySilica, 8)
+		if battery {
+			cfg.Battery = BatteryConfig{Capacity: 400, Reserve: 100, ChargeRate: 2}
+		}
+		l, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := makeRequests(l, 400, 0.25, 1)
+		l.RunTrace(reqs, 0)
+		if got := l.Metrics().Completions.N(); got != 400 {
+			t.Fatalf("completed %d/400", got)
+		}
+		return l.Metrics().Completions.P999()
+	}
+	infinite := tail(false)
+	finite := tail(true)
+	if finite <= infinite {
+		t.Fatalf("slow charging (%v) should lengthen the tail vs infinite battery (%v)",
+			finite, infinite)
+	}
+}

@@ -1,0 +1,62 @@
+package library
+
+import (
+	"testing"
+
+	"silica/internal/controller"
+	"silica/internal/workload"
+)
+
+func TestUtilizationNeverExceedsOne(t *testing.T) {
+	cfg := smallConfig(PolicySilica, 20)
+	cfg.Platters = 500
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeRequests(l, 2000, 0.05, 1)
+	l.RunTrace(reqs, 0)
+	horizon := l.Sim().Now()
+	for i, d := range l.drives {
+		busy := d.readSecs + d.verifySecs + d.mountSecs + d.switchSecs
+		if busy > horizon*1.001 {
+			t.Fatalf("drive %d busy %v > horizon %v (read=%v verify=%v mount=%v switch=%v)",
+				i, busy, horizon, d.readSecs, d.verifySecs, d.mountSecs, d.switchSecs)
+		}
+	}
+	u := l.DriveUtilization(horizon)
+	if u.Utilization() > 1.001 {
+		t.Fatalf("utilization = %v", u.Utilization())
+	}
+}
+
+// TestUtilizationBenchRepro guards the horizon-clamping fix: a trace
+// whose event queue drains before the trace window must still report
+// utilization <= 1 (verification accounting runs to the horizon).
+func TestUtilizationBenchRepro(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Platters = 500
+	for _, verify := range []bool{true, false} {
+		cfg.Verification = verify
+		lib, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := workload.Generate(workload.TraceConfig{
+			Profile: workload.Typical, Duration: 1800, Platters: cfg.Platters,
+			TracksPerFile: workload.TracksFor(10e6), TrackBytes: 10e6,
+			RateScale: 0.5, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]*controller.Request, len(tr.Requests))
+		copy(reqs, tr.Requests)
+		lib.RunTrace(reqs, tr.CoreEnd)
+		u := lib.DriveUtilization(lib.Sim().Now())
+		t.Logf("verify=%v utilization=%v now=%v", verify, u.Utilization(), lib.Sim().Now())
+		if u.Utilization() > 1.001 {
+			t.Fatalf("verify=%v utilization=%v", verify, u.Utilization())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package library
+
+import (
+	"testing"
+
+	"silica/internal/geometry"
+	"silica/internal/media"
+)
+
+func writePathConfig(platters int) Config {
+	cfg := smallConfig(PolicySilica, 20)
+	cfg.WritePath = WritePathConfig{
+		Enabled:    true,
+		Throughput: 300e6, // aggregate write-drive rate
+		Platters:   platters,
+		Concurrent: 4,
+	}
+	return cfg
+}
+
+func TestWritePathProducesVerifiesStores(t *testing.T) {
+	l, err := New(writePathConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RunTrace(nil, 0)
+	m := l.Metrics()
+	if m.PlattersVerified != 6 {
+		t.Fatalf("verified = %d, want 6", m.PlattersVerified)
+	}
+	if m.PlattersStored != 6 {
+		t.Fatalf("stored = %d, want 6", m.PlattersStored)
+	}
+	// Every produced platter got a fixed storage home distinct from
+	// the pre-populated ones.
+	for i := 0; i < 6; i++ {
+		id := media.PlatterID(l.cfg.Platters + i)
+		slot, ok := l.platterSlot[id]
+		if !ok {
+			t.Fatalf("platter %d has no home", id)
+		}
+		if l.layout.Racks[slot.Rack].Kind != geometry.StorageRack {
+			t.Fatalf("platter %d stored in a %v rack", id, l.layout.Racks[slot.Rack].Kind)
+		}
+	}
+}
+
+// TestWritePathAirGap: produced platters flow eject bay -> read drive
+// -> storage; their home slots are never the write rack and the write
+// rack is never a placement destination.
+func TestWritePathAirGap(t *testing.T) {
+	l, err := New(writePathConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RunTrace(nil, 0)
+	writeRack := l.layout.WriteRackIndex()
+	for id, slot := range l.platterSlot {
+		if slot.Rack == writeRack {
+			t.Fatalf("platter %d homed in the write rack: air gap violated", id)
+		}
+	}
+	if occupied := l.slotOccupied; len(occupied) != l.cfg.Platters+4 {
+		t.Fatalf("slot ledger = %d entries, want %d", len(occupied), l.cfg.Platters+4)
+	}
+}
+
+func TestWritePathVerificationConsumesDriveTime(t *testing.T) {
+	l, err := New(writePathConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RunTrace(nil, 0)
+	var verify float64
+	for _, d := range l.drives {
+		verify += d.verifySecs
+	}
+	// Eight platters of raw bytes at the drive throughput.
+	want := 8 * float64(l.cfg.PlatterGeom.PlatterRawBytes()) / l.cfg.DriveThroughput
+	if verify < want*0.95 || verify > want*1.10 {
+		t.Fatalf("verify time = %v, want ~%v", verify, want)
+	}
+}
+
+func TestWritePathCustomerTrafficStillServed(t *testing.T) {
+	l, err := New(writePathConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeRequests(l, 200, 1.0, 1)
+	l.RunTrace(reqs, 0)
+	m := l.Metrics()
+	if m.Completions.N() != 200 {
+		t.Fatalf("customer completions = %d/200", m.Completions.N())
+	}
+	if m.PlattersVerified != 10 || m.PlattersStored != 10 {
+		t.Fatalf("write path starved: verified=%d stored=%d", m.PlattersVerified, m.PlattersStored)
+	}
+}
+
+// TestWritePathPreemption: a customer read arriving mid-verification
+// preempts it (fast switch); verification finishes afterwards.
+func TestWritePathPreemption(t *testing.T) {
+	cfg := writePathConfig(1)
+	cfg.Shuttles = 2 // few shuttles concentrate activity
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One customer request that lands while the single platter is
+	// being verified (verification takes platterRaw/60MB/s ≈ hours;
+	// arrival shortly after the write drive emits).
+	perPlatter := float64(l.cfg.PlatterGeom.PlatterRawBytes())
+	emitAt := perPlatter * 4 / cfg.WritePath.Throughput
+	reqs := makeRequests(l, 1, 1, 1)
+	reqs[0].Arrival = emitAt + 600
+	l.RunTrace(reqs, 0)
+	m := l.Metrics()
+	if m.Completions.N() != 1 {
+		t.Fatal("customer request lost")
+	}
+	if m.PlattersVerified != 1 {
+		t.Fatal("verification never completed after preemption")
+	}
+	// The customer read must not have waited for the multi-hour
+	// verification to finish.
+	if m.Completions.Max() > 1800 {
+		t.Fatalf("customer read waited %v s: preemption broken", m.Completions.Max())
+	}
+}
+
+func TestWritePathDisabledUnchanged(t *testing.T) {
+	// Regression guard: the legacy always-verifying behaviour remains
+	// when the extension is off.
+	l, err := New(smallConfig(PolicySilica, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeRequests(l, 50, 2.0, 1)
+	l.RunTrace(reqs, 0)
+	u := l.DriveUtilization(l.Sim().Now())
+	if u.Verify <= 0.5 {
+		t.Fatalf("legacy verification should dominate, got %v", u.Verify)
+	}
+	if l.Metrics().PlattersVerified != 0 {
+		t.Fatal("write-path counters should stay zero when disabled")
+	}
+}

@@ -1,0 +1,136 @@
+// Package mechanics provides the mechanical latency and energy models
+// of the digital twin, calibrated against every number §7.1 reports
+// from the hardware prototype:
+//
+//   - horizontal shuttle motion: a fast trapezoidal (accelerate /
+//     cruise / decelerate) phase fully defined by acceleration and top
+//     speed, followed by a constant ~0.5 s fine-tuning alignment phase
+//     (Fig. 3a);
+//   - vertical motion (crabbing): highly predictable, spread of only
+//     88 ms, 86% of operations within 3 s, max 3.02 s (Fig. 3b);
+//   - picking and placing: picking averages 170 ms slower than placing
+//     because of the platter's weight (Fig. 3c);
+//   - mount/unmount and verification fast-switch: constant 1 s (the
+//     paper's stated conservative assumption);
+//   - seek within a platter: median 0.6 s, max 2 s (Fig. 3d).
+//
+// The simulator samples each operation's duration from these
+// distributions, exactly as the paper configures its digital twin.
+package mechanics
+
+import (
+	"math"
+
+	"silica/internal/geometry"
+	"silica/internal/sim"
+)
+
+// Model bundles the calibrated operation models.
+type Model struct {
+	// Horizontal motion.
+	Accel    float64 // m/s^2
+	TopSpeed float64 // m/s
+	FineTune float64 // s, constant alignment phase
+
+	// Operation duration distributions.
+	Crab  sim.Dist
+	Pick  sim.Dist
+	Place sim.Dist
+	Seek  sim.Dist
+
+	// Constant drive-side overheads.
+	Mount      float64
+	Unmount    float64
+	FastSwitch float64
+
+	// Energy model (arbitrary units; only ratios matter for Fig. 7b).
+	EnergyPerStart float64 // one accelerate+decelerate cycle
+	EnergyPerMeter float64
+	EnergyPerCrab  float64
+
+	// RestartPenalty is the extra time for a congestion-forced stop
+	// and re-start during horizontal motion.
+	RestartPenalty float64
+}
+
+// Default returns the prototype-calibrated model.
+func Default() *Model {
+	return &Model{
+		Accel:    0.8,
+		TopSpeed: 1.6,
+		FineTune: 0.5,
+		// Fig 3b: fastest-to-slowest spread 88 ms, 86% <= 3 s, max 3.02 s.
+		Crab: sim.NewEmpirical(
+			[]float64{0, 0.30, 0.86, 0.97, 1},
+			[]float64{2.932, 2.960, 3.000, 3.015, 3.020}),
+		// Fig 3c: picking ~170 ms slower than placing on average.
+		Pick:  sim.TruncatedNormal{Mean: 0.97, Stddev: 0.08, Lo: 0.70, Hi: 1.30},
+		Place: sim.TruncatedNormal{Mean: 0.80, Stddev: 0.08, Lo: 0.55, Hi: 1.10},
+		// Fig 3d: random seeks with median 0.6 s and max 2 s.
+		Seek: sim.LogNormalFromMedian(0.6, 0.1, 2.0),
+
+		Mount:      1.0,
+		Unmount:    1.0,
+		FastSwitch: 1.0,
+
+		EnergyPerStart: 6.0,
+		EnergyPerMeter: 2.0,
+		EnergyPerCrab:  4.0,
+
+		RestartPenalty: 1.5,
+	}
+}
+
+// HorizontalTime returns the fast-phase duration of a horizontal move
+// of dist meters under the trapezoidal velocity profile (no fine
+// tuning included; zero distance takes zero time).
+func (m *Model) HorizontalTime(dist float64) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	// Distance needed to reach top speed and brake back down.
+	rampDist := m.TopSpeed * m.TopSpeed / m.Accel
+	if dist < rampDist {
+		// Triangular profile: accelerate halfway, brake halfway.
+		return 2 * math.Sqrt(dist/m.Accel)
+	}
+	return dist/m.TopSpeed + m.TopSpeed/m.Accel
+}
+
+// TravelTime samples the full duration of a shuttle move: horizontal
+// fast phase plus fine tuning (when there is horizontal motion) plus
+// one crab per rail step.
+func (m *Model) TravelTime(tr geometry.Travel, rng *sim.RNG) float64 {
+	t := 0.0
+	if tr.DistanceX > 1e-9 {
+		t += m.HorizontalTime(tr.DistanceX) + m.FineTune
+	}
+	for i := 0; i < tr.Crabs; i++ {
+		t += m.Crab.Sample(rng)
+	}
+	return t
+}
+
+// TravelEnergy returns the motor energy of a move with the given
+// number of extra congestion stops (each stop adds an
+// accelerate/decelerate cycle).
+func (m *Model) TravelEnergy(tr geometry.Travel, extraStops int) float64 {
+	e := 0.0
+	if tr.DistanceX > 1e-9 {
+		e += m.EnergyPerStart*float64(1+extraStops) + m.EnergyPerMeter*tr.DistanceX
+	}
+	e += m.EnergyPerCrab * float64(tr.Crabs)
+	return e
+}
+
+// ExpectedTravelTime returns the congestion-free expected duration of
+// a move, using distribution medians — the §7.5 baseline against which
+// congestion overhead is measured.
+func (m *Model) ExpectedTravelTime(tr geometry.Travel) float64 {
+	t := 0.0
+	if tr.DistanceX > 1e-9 {
+		t += m.HorizontalTime(tr.DistanceX) + m.FineTune
+	}
+	t += 2.976 * float64(tr.Crabs) // crab distribution mean
+	return t
+}

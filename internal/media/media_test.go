@@ -1,0 +1,212 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryPaperScale(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §3: sectors carry "upwards of 100 kB", tracks are the minimum
+	// read unit of ~100 sectors, platters store "multiple TBs".
+	if g.SectorPayloadBytes < 100_000 {
+		t.Fatalf("sector payload = %d", g.SectorPayloadBytes)
+	}
+	if g.TrackUserBytes() != 10_000_000 {
+		t.Fatalf("track user bytes = %d, want 10 MB", g.TrackUserBytes())
+	}
+	user := g.PlatterUserBytes()
+	if user < 1_900_000_000_000 || user > 2_100_000_000_000 {
+		t.Fatalf("platter user bytes = %d, want ~2 TB", user)
+	}
+	// Raw scan volume must exceed user volume (coding + redundancy).
+	if g.PlatterRawBytes() <= user {
+		t.Fatal("raw bytes should exceed user bytes")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{SectorPayloadBytes: 0, InfoSectorsPerTrack: 1, TracksPerPlatter: 1, LargeGroupInfoTracks: 1, CodingExpansion: 1.2},
+		{SectorPayloadBytes: 10, InfoSectorsPerTrack: 0, TracksPerPlatter: 1, LargeGroupInfoTracks: 1, CodingExpansion: 1.2},
+		{SectorPayloadBytes: 10, InfoSectorsPerTrack: 1, TracksPerPlatter: 0, LargeGroupInfoTracks: 1, CodingExpansion: 1.2},
+		{SectorPayloadBytes: 10, InfoSectorsPerTrack: 1, TracksPerPlatter: 1, LargeGroupInfoTracks: 0, CodingExpansion: 1.2},
+		{SectorPayloadBytes: 10, InfoSectorsPerTrack: 1, TracksPerPlatter: 1, LargeGroupInfoTracks: 1, CodingExpansion: 0.9},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("geometry %d should be invalid", i)
+		}
+	}
+}
+
+func TestInfoTracksAccounting(t *testing.T) {
+	g := Geometry{
+		SectorPayloadBytes: 10, InfoSectorsPerTrack: 2, RedundancySectorsPerTrack: 1,
+		TracksPerPlatter: 25, LargeGroupInfoTracks: 10, LargeGroupRedTracks: 2,
+		CodingExpansion: 1.2,
+	}
+	// Two full groups of 12 (20 info) plus 1 remaining track (info).
+	if got := g.InfoTracksPerPlatter(); got != 21 {
+		t.Fatalf("info tracks = %d, want 21", got)
+	}
+	// Remainder larger than a full info allotment is clamped.
+	g.TracksPerPlatter = 35 // 2 groups (24) + 11 remainder -> 20 + 10
+	if got := g.InfoTracksPerPlatter(); got != 30 {
+		t.Fatalf("info tracks = %d, want 30", got)
+	}
+}
+
+func TestSerpentineRoundTrip(t *testing.T) {
+	g := TinyGeometry()
+	err := quick.Check(func(raw uint16) bool {
+		pos := int(raw) % (g.TracksPerPlatter * g.SectorsPerTrack())
+		return g.SerpentinePos(g.SectorAtSerpentine(pos)) == pos
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerpentineAdjacency(t *testing.T) {
+	// The defining property: consecutive serpentine positions never
+	// jump within a track and cross track boundaries at the matching
+	// edge, so adjacent tracks read with no extra seek.
+	g := TinyGeometry()
+	per := g.SectorsPerTrack()
+	last := g.SectorAtSerpentine(0)
+	for pos := 1; pos < g.TracksPerPlatter*per; pos++ {
+		cur := g.SectorAtSerpentine(pos)
+		if cur.Track == last.Track {
+			if cur.Sector != last.Sector+1 && cur.Sector != last.Sector-1 {
+				t.Fatalf("pos %d: sector jump %+v -> %+v", pos, last, cur)
+			}
+		} else {
+			if cur.Track != last.Track+1 {
+				t.Fatalf("pos %d: track jump %+v -> %+v", pos, last, cur)
+			}
+			if cur.Sector != last.Sector {
+				t.Fatalf("pos %d: boundary crossing moved sectors %+v -> %+v", pos, last, cur)
+			}
+		}
+		last = cur
+	}
+}
+
+func TestPlatterLifecycleHappyPath(t *testing.T) {
+	p := NewPlatter(1, TinyGeometry())
+	steps := []PlatterState{Writing, Written, Verifying, Stored, Recycled}
+	for _, s := range steps {
+		if err := p.Transition(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.State() != Recycled {
+		t.Fatalf("state = %v", p.State())
+	}
+}
+
+func TestPlatterIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		path []PlatterState
+		next PlatterState
+	}{
+		{nil, Written},                       // can't skip writing
+		{nil, Stored},                        // can't skip everything
+		{[]PlatterState{Writing}, Blank},     // WORM: no path back to blank
+		{[]PlatterState{Writing}, Verifying}, // must eject first
+		{[]PlatterState{Writing, Written, Verifying, Stored}, Writing}, // air gap
+		{[]PlatterState{Writing, Written, Verifying, Stored, Recycled}, Writing},
+	}
+	for i, c := range cases {
+		p := NewPlatter(PlatterID(i), TinyGeometry())
+		for _, s := range c.path {
+			if err := p.Transition(s); err != nil {
+				t.Fatalf("case %d: setup transition to %v failed: %v", i, s, err)
+			}
+		}
+		if err := p.Transition(c.next); err == nil {
+			t.Fatalf("case %d: illegal transition to %v allowed from %v", i, c.next, p.State())
+		}
+	}
+}
+
+// TestAirGapInvariant verifies the paper's air-gap-by-design property:
+// from every reachable post-write state, the platter can never enter a
+// write drive again.
+func TestAirGapInvariant(t *testing.T) {
+	// Exhaustively walk the transition graph from Blank.
+	type node struct {
+		state   PlatterState
+		written bool
+	}
+	seen := map[PlatterState]bool{}
+	queue := []node{{Blank, false}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n.state] {
+			continue
+		}
+		seen[n.state] = true
+		written := n.written || n.state == Writing
+		p := &Platter{state: n.state}
+		if written && n.state != Blank && p.CanEnterWriteDrive() {
+			t.Fatalf("air gap violated: state %v claims write-drive access", n.state)
+		}
+		for _, next := range legalTransitions[n.state] {
+			queue = append(queue, node{next, written})
+		}
+	}
+	if !seen[Recycled] || !seen[Faulted] {
+		t.Fatal("transition graph should reach recycled and faulted")
+	}
+}
+
+func TestWORMSectorWrites(t *testing.T) {
+	p := NewPlatter(1, TinyGeometry())
+	id := SectorID{Track: 0, Sector: 0}
+	if err := p.WriteSector(id, []uint8{1, 2}); err == nil {
+		t.Fatal("write in blank state allowed")
+	}
+	if err := p.Transition(Writing); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSector(id, []uint8{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSector(id, []uint8{3}); err == nil {
+		t.Fatal("overwrite allowed on WORM media")
+	}
+	if err := p.WriteSector(SectorID{Track: 999, Sector: 0}, nil); err == nil {
+		t.Fatal("out-of-range sector accepted")
+	}
+	got, ok := p.ReadSector(id)
+	if !ok || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("read back %v, %v", got, ok)
+	}
+	// Mutating the returned slice must not affect the media.
+	got[0] = 99
+	again, _ := p.ReadSector(id)
+	if again[0] != 1 {
+		t.Fatal("ReadSector aliases internal storage")
+	}
+	if _, ok := p.ReadSector(SectorID{Track: 1, Sector: 1}); ok {
+		t.Fatal("unwritten sector readable")
+	}
+	if p.WrittenSectors() != 1 {
+		t.Fatalf("written sectors = %d", p.WrittenSectors())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Blank.String() != "blank" || Recycled.String() != "recycled" {
+		t.Fatal("state names wrong")
+	}
+	if PlatterState(42).String() != "state(42)" {
+		t.Fatal("unknown state should format numerically")
+	}
+}

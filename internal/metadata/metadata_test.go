@@ -1,0 +1,212 @@
+package metadata
+
+import (
+	"errors"
+	"testing"
+)
+
+func k(name string) FileKey { return FileKey{Account: "acct", Name: name} }
+
+func TestPutGetLatest(t *testing.T) {
+	s := NewStore()
+	v := s.Put(k("a"), 100, "key-a-1", 1.0)
+	if v.Version != 1 || v.State != Staged {
+		t.Fatalf("v = %+v", v)
+	}
+	got, err := s.Get(k("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.Size != 100 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestVersionedOverwrite(t *testing.T) {
+	// §3: "Overwrites are handled logically by versioning in metadata".
+	s := NewStore()
+	s.Put(k("a"), 100, "key1", 1)
+	v2 := s.Put(k("a"), 200, "key2", 2)
+	if v2.Version != 2 {
+		t.Fatalf("second put version = %d", v2.Version)
+	}
+	got, _ := s.Get(k("a"))
+	if got.Version != 2 || got.Size != 200 {
+		t.Fatalf("latest = %+v", got)
+	}
+	old, err := s.GetVersion(k("a"), 1)
+	if err != nil || old.Size != 100 {
+		t.Fatalf("old version = %+v, %v", old, err)
+	}
+}
+
+func TestSetExtentsMakesDurable(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 100, "key1", 1)
+	ext := []Extent{{Platter: 7, FirstSector: 0, SectorCount: 2}}
+	if err := s.SetExtents(k("a"), 1, ext); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(k("a"))
+	if got.State != Durable || len(got.Extents) != 1 || got.Extents[0].Platter != 7 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := s.SetExtents(k("a"), 9, ext); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version: %v", err)
+	}
+}
+
+func TestDeleteRemovesPointers(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 100, "key1", 1)
+	s.Put(k("a"), 200, "key2", 2)
+	ids, err := s.Delete(k("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "key1" || ids[1] != "key2" {
+		t.Fatalf("key ids = %v", ids)
+	}
+	if _, err := s.Get(k("a")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	// Deleted versions remain addressable for audit.
+	v, err := s.GetVersion(k("a"), 1)
+	if err != nil || v.State != Deleted {
+		t.Fatalf("deleted version = %+v, %v", v, err)
+	}
+	if _, err := s.Delete(k("a")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := s.Delete(k("never")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestDeleteAfterSetExtents(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 100, "key1", 1)
+	s.SetExtents(k("a"), 1, []Extent{{Platter: 1, SectorCount: 1}})
+	s.Delete(k("a"))
+	if err := s.SetExtents(k("a"), 1, nil); err == nil {
+		t.Fatal("SetExtents on deleted version allowed")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get(k("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.GetVersion(k("missing"), 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 100, "key1", 1)
+	s.SetExtents(k("a"), 1, []Extent{{Platter: 3, SectorCount: 1}})
+	got, _ := s.Get(k("a"))
+	got.Size = 999
+	again, _ := s.Get(k("a"))
+	if again.Size != 100 {
+		t.Fatal("Get aliases internal state")
+	}
+}
+
+func TestPlatterHeaderAndRebuild(t *testing.T) {
+	// §6 disaster path: rebuild the whole index from platter headers.
+	s := NewStore()
+	s.Put(k("a"), 100, "ka", 1)
+	s.SetExtents(k("a"), 1, []Extent{{Platter: 1, FirstSector: 0, SectorCount: 2, Shard: 0}})
+	s.Put(k("b"), 5000, "kb", 2)
+	// b is sharded across two platters.
+	s.SetExtents(k("b"), 1, []Extent{
+		{Platter: 1, FirstSector: 2, SectorCount: 30, Shard: 0},
+		{Platter: 2, FirstSector: 0, SectorCount: 20, Shard: 1},
+	})
+
+	h1 := s.PlatterHeader(1)
+	if len(h1) != 2 {
+		t.Fatalf("platter 1 header has %d entries, want 2", len(h1))
+	}
+	h2 := s.PlatterHeader(2)
+	if len(h2) != 1 {
+		t.Fatalf("platter 2 header has %d entries, want 1", len(h2))
+	}
+
+	rebuilt := RebuildFromHeaders([][]HeaderEntry{h1, h2})
+	gb, err := rebuilt.Get(k("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Size != 5000 || len(gb.Extents) != 2 || gb.State != Durable {
+		t.Fatalf("rebuilt b = %+v", gb)
+	}
+	if gb.Extents[0].Shard != 0 || gb.Extents[1].Shard != 1 {
+		t.Fatalf("shard order lost: %+v", gb.Extents)
+	}
+	ga, err := rebuilt.Get(k("a"))
+	if err != nil || ga.KeyID != "ka" {
+		t.Fatalf("rebuilt a = %+v, %v", ga, err)
+	}
+}
+
+func TestRebuildSkipsGapVersions(t *testing.T) {
+	// Header only mentions version 2: version 1 must exist as a
+	// deleted placeholder and not be served.
+	h := []HeaderEntry{{
+		Key: k("x"), Version: 2, Size: 10, KeyID: "k2",
+		Extent: Extent{Platter: 5, SectorCount: 1},
+	}}
+	s := RebuildFromHeaders([][]HeaderEntry{h})
+	got, err := s.Get(k("x"))
+	if err != nil || got.Version != 2 {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+	if v1, err := s.GetVersion(k("x"), 1); err != nil || v1.State != Deleted {
+		t.Fatalf("gap version = %+v, %v", v1, err)
+	}
+}
+
+func TestLiveBytesOnPlatter(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 100, "ka", 1)
+	s.SetExtents(k("a"), 1, []Extent{{Platter: 1, SectorCount: 5}})
+	s.Put(k("b"), 100, "kb", 1)
+	s.SetExtents(k("b"), 1, []Extent{{Platter: 1, SectorCount: 3}})
+	if got := s.LiveBytesOnPlatter(1); got != 8 {
+		t.Fatalf("live sectors = %d, want 8", got)
+	}
+	s.Delete(k("a"))
+	if got := s.LiveBytesOnPlatter(1); got != 3 {
+		t.Fatalf("after delete = %d, want 3", got)
+	}
+	s.Delete(k("b"))
+	if got := s.LiveBytesOnPlatter(1); got != 0 {
+		t.Fatalf("after all deletes = %d, want 0 (platter recyclable)", got)
+	}
+}
+
+func TestFilesCount(t *testing.T) {
+	s := NewStore()
+	s.Put(k("a"), 1, "ka", 1)
+	s.Put(k("b"), 1, "kb", 1)
+	if s.Files() != 2 {
+		t.Fatalf("files = %d", s.Files())
+	}
+	s.Delete(k("a"))
+	if s.Files() != 1 {
+		t.Fatalf("files after delete = %d", s.Files())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Staged.String() != "staged" || Durable.String() != "durable" || Deleted.String() != "deleted" {
+		t.Fatal("state names wrong")
+	}
+	if FileState(9).String() != "state(9)" {
+		t.Fatal("unknown state format")
+	}
+}

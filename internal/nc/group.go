@@ -1,0 +1,229 @@
+// Package nc implements Silica's inter-sector erasure coding (§5):
+// "network coding" groups of I information units and R redundancy
+// units such that any I of the I+R units reconstruct the rest. Three
+// levels are deployed, all built on the same Group primitive:
+//
+//   - within-track: I_t ≈ 100 information sectors + R_t ≈ 10 redundancy
+//     sectors per track, repairing independent sector failures at no
+//     extra read cost (the whole track is read anyway);
+//   - large-group: I_l ≈ 100 information tracks + R_l ≈ 10 redundancy
+//     tracks per group within a platter, repairing correlated in-track
+//     failures;
+//   - cross-platter: platter-sets of I_p=16 information + R_p=3
+//     redundancy platters, repairing platter unavailability with a read
+//     of the 16 matching tracks (16× amplification).
+//
+// Coefficients come either from a Cauchy matrix (deterministic MDS —
+// decode always succeeds with any I survivors) or from seeded random
+// linear combinations (the paper's construction; decode succeeds with
+// high probability). Both sit behind the same Group type.
+package nc
+
+import (
+	"fmt"
+	"sort"
+
+	"silica/internal/gf256"
+	"silica/internal/sim"
+)
+
+// Scheme selects how redundancy coefficients are generated.
+type Scheme int
+
+const (
+	// Cauchy coefficients make the code MDS: any I of I+R units decode.
+	Cauchy Scheme = iota
+	// RandomLinear draws coefficients uniformly from GF(256)\{0}; a
+	// random I x I decode matrix is singular with probability ~1/255,
+	// in which case Reconstruct reports an error and the caller reads
+	// one more unit.
+	RandomLinear
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Cauchy:
+		return "cauchy"
+	case RandomLinear:
+		return "random-linear"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Group is an I+R erasure-coding group. Unit indices 0..I-1 are
+// information units; I..I+R-1 are redundancy units.
+type Group struct {
+	I, R   int
+	Scheme Scheme
+	coeff  *gf256.Matrix // R x I
+}
+
+// NewGroup builds a group. I+R must be at most 256 for Cauchy (field
+// size bound); seed only matters for RandomLinear.
+func NewGroup(i, r int, scheme Scheme, seed uint64) (*Group, error) {
+	if i <= 0 || r < 0 {
+		return nil, fmt.Errorf("nc: invalid group %d+%d", i, r)
+	}
+	g := &Group{I: i, R: r, Scheme: scheme}
+	switch scheme {
+	case Cauchy:
+		if i+r > 256 {
+			return nil, fmt.Errorf("nc: cauchy group %d+%d exceeds field size", i, r)
+		}
+		g.coeff = gf256.Cauchy(r, i)
+	case RandomLinear:
+		rng := sim.NewRNG(seed)
+		g.coeff = gf256.NewMatrix(r, i)
+		for idx := range g.coeff.Data {
+			g.coeff.Data[idx] = byte(1 + rng.Intn(255))
+		}
+	default:
+		return nil, fmt.Errorf("nc: unknown scheme %v", scheme)
+	}
+	return g, nil
+}
+
+// MustNewGroup is NewGroup for compiled-in parameters.
+func MustNewGroup(i, r int, scheme Scheme, seed uint64) *Group {
+	g, err := NewGroup(i, r, scheme, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Size reports I+R.
+func (g *Group) Size() int { return g.I + g.R }
+
+// Overhead reports R/I, the write-time redundancy overhead of §6.
+func (g *Group) Overhead() float64 { return float64(g.R) / float64(g.I) }
+
+// Coefficient returns the coding coefficient of redundancy unit r
+// (0-based) for information unit i.
+func (g *Group) Coefficient(r, i int) byte { return g.coeff.At(r, i) }
+
+// EncodeRedundancy computes the R redundancy units from the I
+// information units. All units must have equal length.
+func (g *Group) EncodeRedundancy(info [][]byte) ([][]byte, error) {
+	if len(info) != g.I {
+		return nil, fmt.Errorf("nc: got %d information units, want %d", len(info), g.I)
+	}
+	size := len(info[0])
+	for idx, u := range info {
+		if len(u) != size {
+			return nil, fmt.Errorf("nc: unit %d has %d bytes, want %d", idx, len(u), size)
+		}
+	}
+	out := make([][]byte, g.R)
+	for r := 0; r < g.R; r++ {
+		red := make([]byte, size)
+		row := g.coeff.Row(r)
+		for i, u := range info {
+			gf256.MulAddVec(red, u, row[i])
+		}
+		out[r] = red
+	}
+	return out, nil
+}
+
+// Reconstruct recovers the information units listed in want, given any
+// >= I available units keyed by unit index (info 0..I-1, redundancy
+// I..I+R-1). It returns the recovered units keyed by index. Available
+// information units in want are returned as-is. An error means not
+// enough units, inconsistent sizes, or (RandomLinear only) a singular
+// decode matrix.
+func (g *Group) Reconstruct(available map[int][]byte, want []int) (map[int][]byte, error) {
+	for _, w := range want {
+		if w < 0 || w >= g.I {
+			return nil, fmt.Errorf("nc: want index %d outside information range [0,%d)", w, g.I)
+		}
+	}
+	out := make(map[int][]byte, len(want))
+	missing := make([]int, 0, len(want))
+	for _, w := range want {
+		if u, ok := available[w]; ok {
+			out[w] = u
+		} else {
+			missing = append(missing, w)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	if len(available) < g.I {
+		return nil, fmt.Errorf("nc: %d units available, need %d", len(available), g.I)
+	}
+	// Choose I units: all available information units first (identity
+	// rows keep the decode matrix well-conditioned and cheap), then
+	// redundancy units in index order.
+	idxs := make([]int, 0, len(available))
+	for idx := range available {
+		if idx < 0 || idx >= g.Size() {
+			return nil, fmt.Errorf("nc: unit index %d out of range", idx)
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	chosen := make([]int, 0, g.I)
+	for _, idx := range idxs {
+		if idx < g.I {
+			chosen = append(chosen, idx)
+		}
+	}
+	for _, idx := range idxs {
+		if idx >= g.I && len(chosen) < g.I {
+			chosen = append(chosen, idx)
+		}
+	}
+	chosen = chosen[:g.I]
+	size := -1
+	for _, idx := range chosen {
+		if size < 0 {
+			size = len(available[idx])
+		} else if len(available[idx]) != size {
+			return nil, fmt.Errorf("nc: inconsistent unit sizes")
+		}
+	}
+	// Build the I x I decode matrix A with A[row] = coding vector of
+	// chosen[row]; solving A x = units gives the information vector x.
+	a := gf256.NewMatrix(g.I, g.I)
+	for row, idx := range chosen {
+		if idx < g.I {
+			a.Set(row, idx, 1)
+		} else {
+			copy(a.Row(row), g.coeff.Row(idx-g.I))
+		}
+	}
+	inv, ok := a.Invert()
+	if !ok {
+		return nil, fmt.Errorf("nc: singular decode matrix (%s scheme)", g.Scheme)
+	}
+	// info_j = sum_k inv[j][k] * unit_k; only compute the missing rows.
+	for _, j := range missing {
+		rec := make([]byte, size)
+		row := inv.Row(j)
+		for k, idx := range chosen {
+			gf256.MulAddVec(rec, available[idx], row[k])
+		}
+		out[j] = rec
+	}
+	return out, nil
+}
+
+// ReconstructAll recovers all I information units.
+func (g *Group) ReconstructAll(available map[int][]byte) ([][]byte, error) {
+	want := make([]int, g.I)
+	for i := range want {
+		want[i] = i
+	}
+	m, err := g.Reconstruct(available, want)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, g.I)
+	for i := range out {
+		out[i] = m[i]
+	}
+	return out, nil
+}

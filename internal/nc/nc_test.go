@@ -1,0 +1,347 @@
+package nc
+
+import (
+	"bytes"
+	"testing"
+
+	"silica/internal/sim"
+)
+
+func randUnits(r *sim.RNG, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		u := make([]byte, size)
+		for j := range u {
+			u[j] = byte(r.Uint64())
+		}
+		out[i] = u
+	}
+	return out
+}
+
+func TestEncodeRedundancyShape(t *testing.T) {
+	g := MustNewGroup(10, 4, Cauchy, 1)
+	info := randUnits(sim.NewRNG(1), 10, 64)
+	red, err := g.EncodeRedundancy(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 4 {
+		t.Fatalf("got %d redundancy units, want 4", len(red))
+	}
+	for _, u := range red {
+		if len(u) != 64 {
+			t.Fatalf("redundancy unit size %d, want 64", len(u))
+		}
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	g := MustNewGroup(4, 2, Cauchy, 1)
+	if _, err := g.EncodeRedundancy(randUnits(sim.NewRNG(1), 3, 8)); err == nil {
+		t.Fatal("wrong unit count accepted")
+	}
+	units := randUnits(sim.NewRNG(1), 4, 8)
+	units[2] = units[2][:5]
+	if _, err := g.EncodeRedundancy(units); err == nil {
+		t.Fatal("ragged unit sizes accepted")
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0, 2, Cauchy, 1); err == nil {
+		t.Fatal("I=0 accepted")
+	}
+	if _, err := NewGroup(4, -1, Cauchy, 1); err == nil {
+		t.Fatal("R<0 accepted")
+	}
+	if _, err := NewGroup(200, 100, Cauchy, 1); err == nil {
+		t.Fatal("oversized Cauchy group accepted")
+	}
+	if _, err := NewGroup(200, 100, RandomLinear, 1); err != nil {
+		t.Fatal("random-linear should allow >256 total")
+	}
+}
+
+// TestAnyIOfIPlusR is the defining MDS property (§5): "any I sectors in
+// the group can be used to construct any other sector in the group".
+func TestAnyIOfIPlusR(t *testing.T) {
+	const i, r = 8, 3
+	g := MustNewGroup(i, r, Cauchy, 7)
+	rng := sim.NewRNG(7)
+	info := randUnits(rng, i, 128)
+	red, err := g.EncodeRedundancy(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, info...), red...)
+	// Try many random I-subsets of the I+R units.
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(i + r)
+		avail := make(map[int][]byte, i)
+		for _, idx := range perm[:i] {
+			avail[idx] = all[idx]
+		}
+		rec, err := g.ReconstructAll(avail)
+		if err != nil {
+			t.Fatalf("trial %d: %v (subset %v)", trial, err, perm[:i])
+		}
+		for j := range info {
+			if !bytes.Equal(rec[j], info[j]) {
+				t.Fatalf("trial %d: unit %d mismatch", trial, j)
+			}
+		}
+	}
+}
+
+func TestWorstCaseErasurePattern(t *testing.T) {
+	// Lose exactly R information units; all redundancy plus the rest
+	// must recover them.
+	const i, r = 16, 3
+	g := MustNewGroup(i, r, Cauchy, 11)
+	rng := sim.NewRNG(11)
+	info := randUnits(rng, i, 256)
+	red, _ := g.EncodeRedundancy(info)
+	avail := make(map[int][]byte)
+	for j := 3; j < i; j++ { // info units 0,1,2 lost
+		avail[j] = info[j]
+	}
+	for j, u := range red {
+		avail[i+j] = u
+	}
+	rec, err := g.Reconstruct(avail, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if !bytes.Equal(rec[j], info[j]) {
+			t.Fatalf("unit %d mismatch", j)
+		}
+	}
+}
+
+func TestReconstructInsufficientUnits(t *testing.T) {
+	g := MustNewGroup(6, 2, Cauchy, 3)
+	info := randUnits(sim.NewRNG(3), 6, 32)
+	avail := map[int][]byte{0: info[0], 1: info[1], 2: info[2], 3: info[3], 4: info[4]}
+	if _, err := g.Reconstruct(avail, []int{5}); err == nil {
+		t.Fatal("reconstruction with I-1 units should fail")
+	}
+}
+
+func TestReconstructWantValidation(t *testing.T) {
+	g := MustNewGroup(4, 2, Cauchy, 3)
+	if _, err := g.Reconstruct(map[int][]byte{}, []int{4}); err == nil {
+		t.Fatal("want of a redundancy index should be rejected")
+	}
+	if _, err := g.Reconstruct(map[int][]byte{}, []int{-1}); err == nil {
+		t.Fatal("negative want should be rejected")
+	}
+}
+
+func TestReconstructBadIndex(t *testing.T) {
+	g := MustNewGroup(2, 1, Cauchy, 3)
+	avail := map[int][]byte{0: {1}, 5: {2}}
+	if _, err := g.Reconstruct(avail, []int{1}); err == nil {
+		t.Fatal("out-of-range available index should be rejected")
+	}
+}
+
+func TestReconstructPassThrough(t *testing.T) {
+	// Wanting units that are already available must not require I units.
+	g := MustNewGroup(4, 2, Cauchy, 3)
+	u := []byte{9, 9, 9}
+	rec, err := g.Reconstruct(map[int][]byte{2: u}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec[2], u) {
+		t.Fatal("available unit not passed through")
+	}
+}
+
+func TestRandomLinearUsuallyDecodes(t *testing.T) {
+	const i, r = 10, 4
+	rng := sim.NewRNG(13)
+	info := randUnits(rng, i, 64)
+	successes, trials := 0, 60
+	for trial := 0; trial < trials; trial++ {
+		g := MustNewGroup(i, r, RandomLinear, uint64(trial))
+		red, _ := g.EncodeRedundancy(info)
+		all := append(append([][]byte{}, info...), red...)
+		perm := rng.Perm(i + r)
+		avail := make(map[int][]byte, i)
+		for _, idx := range perm[:i] {
+			avail[idx] = all[idx]
+		}
+		rec, err := g.ReconstructAll(avail)
+		if err != nil {
+			continue // singular random matrix: expected occasionally
+		}
+		ok := true
+		for j := range info {
+			if !bytes.Equal(rec[j], info[j]) {
+				ok = false
+			}
+		}
+		if ok {
+			successes++
+		}
+	}
+	if successes < trials*9/10 {
+		t.Fatalf("random linear decoded only %d/%d", successes, trials)
+	}
+}
+
+func TestPaperScaleWithinTrackGroup(t *testing.T) {
+	// Full paper-scale within-track group: 100+8 with 1 KiB sector
+	// stand-ins (real sectors are ~100 KiB; size doesn't change the
+	// algebra).
+	g := MustNewGroup(100, 8, Cauchy, 17)
+	rng := sim.NewRNG(17)
+	info := randUnits(rng, 100, 1024)
+	red, err := g.EncodeRedundancy(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill 8 random information sectors.
+	lost := rng.Perm(100)[:8]
+	isLost := map[int]bool{}
+	for _, l := range lost {
+		isLost[l] = true
+	}
+	avail := make(map[int][]byte)
+	for j := 0; j < 100; j++ {
+		if !isLost[j] {
+			avail[j] = info[j]
+		}
+	}
+	for j, u := range red {
+		avail[100+j] = u
+	}
+	rec, err := g.Reconstruct(avail, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lost {
+		if !bytes.Equal(rec[l], info[l]) {
+			t.Fatalf("sector %d not recovered", l)
+		}
+	}
+}
+
+func TestHierarchyDefaults(t *testing.T) {
+	h, err := NewHierarchy(Cauchy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WithinTrack.I != 100 || h.WithinTrack.R != 8 {
+		t.Fatalf("within-track = %d+%d", h.WithinTrack.I, h.WithinTrack.R)
+	}
+	if h.PlatterSet.I != 16 || h.PlatterSet.R != 3 {
+		t.Fatalf("platter-set = %d+%d", h.PlatterSet.I, h.PlatterSet.R)
+	}
+	// §6: ~8% within-track + ~2% large-group ≈ 10% in-platter overhead.
+	ov := h.TotalInPlatterOverhead()
+	if ov < 0.08 || ov > 0.12 {
+		t.Fatalf("in-platter overhead = %v, want ~0.10", ov)
+	}
+}
+
+func TestTrackDecodeFailureProb(t *testing.T) {
+	// §6: with ~8% redundancy and sector failure probability 1e-3 the
+	// track decode failure probability is astronomically small.
+	p := TrackDecodeFailureProb(DefaultWithinTrack, 1e-3)
+	if p > 1e-14 || p <= 0 {
+		t.Fatalf("track failure probability = %v", p)
+	}
+	// It must degrade gracefully as sector failures rise.
+	p2 := TrackDecodeFailureProb(DefaultWithinTrack, 1e-2)
+	if p2 <= p {
+		t.Fatal("higher sector failure rate should raise track failure probability")
+	}
+}
+
+func TestGroupLossFallsWithGroupSize(t *testing.T) {
+	// §5: "the probability of being unable to recover a group falls
+	// rapidly with the size of the group (I+R)" at fixed overhead.
+	small := GroupLossProb(LevelParams{I: 10, R: 1}, 0.01)
+	large := GroupLossProb(LevelParams{I: 100, R: 10}, 0.01)
+	if large >= small {
+		t.Fatalf("large group (%v) should beat small group (%v) at equal overhead", large, small)
+	}
+}
+
+func TestPlanRecovery(t *testing.T) {
+	h, err := NewHierarchy(Cauchy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := h.PlanRecovery(42, map[int]bool{3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Amplification != 16 {
+		t.Fatalf("amplification = %d, want 16 (paper: 16x read amplification)", plan.Amplification)
+	}
+	if len(plan.Reads) != 16 {
+		t.Fatalf("reads = %d, want 16", len(plan.Reads))
+	}
+	for _, rd := range plan.Reads {
+		if rd.Member == 3 {
+			t.Fatal("plan reads the unavailable member")
+		}
+		if rd.Track != 42 {
+			t.Fatalf("plan reads track %d, want 42", rd.Track)
+		}
+	}
+}
+
+func TestPlanRecoveryTooManyFailures(t *testing.T) {
+	h, _ := NewHierarchy(Cauchy, 1)
+	unavail := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if _, err := h.PlanRecovery(0, unavail); err == nil {
+		t.Fatal("4 failures in a 16+3 set should be unrecoverable")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Cauchy.String() != "cauchy" || RandomLinear.String() != "random-linear" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme should still format")
+	}
+}
+
+func BenchmarkEncodeWithinTrack(b *testing.B) {
+	// Encoding 8 redundancy sectors over 100 x 4 KiB information
+	// sectors (scaled-down sector size).
+	g := MustNewGroup(100, 8, Cauchy, 1)
+	info := randUnits(sim.NewRNG(1), 100, 4096)
+	b.SetBytes(100 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.EncodeRedundancy(info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverOneSector(b *testing.B) {
+	g := MustNewGroup(100, 8, Cauchy, 1)
+	info := randUnits(sim.NewRNG(1), 100, 4096)
+	red, _ := g.EncodeRedundancy(info)
+	avail := make(map[int][]byte)
+	for j := 1; j < 100; j++ {
+		avail[j] = info[j]
+	}
+	avail[100] = red[0]
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Reconstruct(avail, []int{0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

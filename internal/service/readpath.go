@@ -1,0 +1,240 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"silica/internal/keystore"
+	"silica/internal/media"
+	"silica/internal/metadata"
+)
+
+// Get reads back the latest version of a file through the full §5
+// recovery hierarchy and decrypts it. Staged (not yet flushed) files
+// are served from the staging tier, as the online tier does in
+// production.
+func (s *Service) Get(account, name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := metadata.FileKey{Account: account, Name: name}
+	v, err := s.meta.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	var ct []byte
+	switch v.State {
+	case metadata.Staged:
+		f, ok := s.tier.Find(key, v.Version)
+		if !ok {
+			return nil, fmt.Errorf("service: %v v%d staged but not in tier", key, v.Version)
+		}
+		ct = append([]byte(nil), f.Data...)
+		s.stats.StagedReads++
+	case metadata.Durable:
+		ct, err = s.readExtents(v)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.DurableReads++
+	default:
+		return nil, fmt.Errorf("service: %v in unexpected state %v", key, v.State)
+	}
+	ctLen := v.Size + keystore.Overhead
+	if int64(len(ct)) < ctLen {
+		return nil, fmt.Errorf("service: %v short read: %d < %d", key, len(ct), ctLen)
+	}
+	return s.keys.Decrypt(v.KeyID, ct[:ctLen])
+}
+
+// readExtents assembles a version's ciphertext from its shards in
+// shard order.
+func (s *Service) readExtents(v *metadata.Version) ([]byte, error) {
+	extents := append([]metadata.Extent(nil), v.Extents...)
+	sort.Slice(extents, func(i, j int) bool { return extents[i].Shard < extents[j].Shard })
+	var out []byte
+	for _, e := range extents {
+		for k := 0; k < e.SectorCount; k++ {
+			payload, err := s.readInfoSector(e.Platter, e.FirstSector+k)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d sector %d: %w", e.Shard, e.FirstSector+k, err)
+			}
+			out = append(out, payload...)
+		}
+	}
+	return out, nil
+}
+
+// readInfoSector reads one information sector's payload, escalating
+// through the recovery hierarchy:
+//  1. direct LDPC decode of the sector;
+//  2. within-track network coding over the sector's track;
+//  3. large-group network coding across the platter's tracks;
+//  4. cross-platter network coding over the platter-set.
+func (s *Service) readInfoSector(id media.PlatterID, infoSector int) ([]byte, error) {
+	pi, ok := s.platters[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: platter %d unknown", ErrUnavailable, id)
+	}
+	geom := s.cfg.Geom
+	iPerTrack := geom.InfoSectorsPerTrack
+	infoTrack := infoSector / iPerTrack
+	sPos := infoSector % iPerTrack
+	if pi.failed {
+		// Level 4: the platter is unavailable; rebuild from its set.
+		payload, err := s.recoverFromSet(pi, infoSector)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.PlatterRecovers++
+		return payload, nil
+	}
+	phys := geom.InfoTrackPhysical(infoTrack)
+	if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+		return payload, nil
+	}
+	// Level 2: read the whole track, repair via within-track NC.
+	if payload, ok := s.repairWithinTrack(pi, phys, sPos); ok {
+		s.stats.SectorRepairs++
+		return payload, nil
+	}
+	// Level 3: rebuild the whole track from its large group.
+	if payload, ok := s.rebuildTrackSector(pi, infoTrack, sPos); ok {
+		s.stats.TrackRebuilds++
+		return payload, nil
+	}
+	return nil, fmt.Errorf("%w: platter %d sector %d beyond all coding levels", ErrUnavailable, id, infoSector)
+}
+
+// decodeSector attempts a direct LDPC decode of one physical sector,
+// descrambling the payload (see scramble in writepath.go).
+func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int) ([]byte, bool) {
+	symbols, ok := pi.platter.ReadSector(media.SectorID{Track: physTrack, Sector: sPos})
+	if !ok {
+		return nil, false
+	}
+	res := s.pipe.ReadSector(symbols, s.rng)
+	if !res.OK {
+		return nil, false
+	}
+	return scramble(res.Payload, pi.platter.ID, physTrack, sPos), true
+}
+
+// repairWithinTrack reads every sector of a track and reconstructs the
+// requested position via the within-track group.
+func (s *Service) repairWithinTrack(pi *platterInfo, physTrack, want int) ([]byte, bool) {
+	geom := s.cfg.Geom
+	avail := make(map[int][]byte)
+	for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
+		if payload, ok := s.decodeSector(pi, physTrack, sPos); ok {
+			avail[sPos] = payload
+		}
+	}
+	rec, err := s.withinTrack.Reconstruct(avail, []int{want})
+	if err != nil {
+		return nil, false
+	}
+	return rec[want], true
+}
+
+// rebuildTrackSector reconstructs sector sPos of information track
+// infoTrack from the platter's large group: the matching sector
+// position of the other member tracks plus the group's redundancy
+// tracks. Member tracks beyond the written range are zero.
+func (s *Service) rebuildTrackSector(pi *platterInfo, infoTrack, sPos int) ([]byte, bool) {
+	geom := s.cfg.Geom
+	lgi := geom.LargeGroupInfoTracks
+	g := infoTrack / lgi
+	wantUnit := infoTrack % lgi
+	usedTracks := (pi.usedInfoSectors + geom.InfoSectorsPerTrack - 1) / geom.InfoSectorsPerTrack
+	zero := make([]byte, geom.SectorPayloadBytes)
+	avail := make(map[int][]byte)
+	for m := 0; m < lgi; m++ {
+		if m == wantUnit {
+			continue
+		}
+		it := g*lgi + m
+		if it >= usedTracks {
+			avail[m] = zero
+			continue
+		}
+		phys := geom.InfoTrackPhysical(it)
+		if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+			avail[m] = payload
+		} else if payload, ok := s.repairWithinTrack(pi, phys, sPos); ok {
+			avail[m] = payload
+		}
+	}
+	for j := 0; j < geom.LargeGroupRedTracks; j++ {
+		phys := geom.LargeGroupRedTrack(g, j)
+		if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+			avail[lgi+j] = payload
+		}
+	}
+	rec, err := s.largeGroup.Reconstruct(avail, []int{wantUnit})
+	if err != nil {
+		return nil, false
+	}
+	return rec[wantUnit], true
+}
+
+// RecyclePlatter melts a platter down as blank feedstock (§3: "if a
+// platter no longer contains live data, it can be melted down and
+// sustainably recycled"). It refuses while any live version still
+// points at the platter.
+func (s *Service) RecyclePlatter(id media.PlatterID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pi, ok := s.platters[id]
+	if !ok {
+		return fmt.Errorf("service: unknown platter %d", id)
+	}
+	if live := s.meta.LiveBytesOnPlatter(id); live > 0 {
+		return fmt.Errorf("service: platter %d still holds %d live sectors", id, live)
+	}
+	if err := pi.platter.Transition(media.Recycled); err != nil {
+		return err
+	}
+	delete(s.platters, id)
+	s.stats.PlattersRecycled++
+	return nil
+}
+
+// recoverFromSet rebuilds one information sector of an unavailable
+// platter from its platter-set: the matching sector of every available
+// member (§5 cross-platter NC; §7.6's 16x read amplification).
+func (s *Service) recoverFromSet(pi *platterInfo, infoSector int) ([]byte, error) {
+	if pi.set < 0 || pi.set >= len(s.sets) {
+		return nil, fmt.Errorf("%w: platter %d has no completed platter-set", ErrUnavailable, pi.platter.ID)
+	}
+	members := s.sets[pi.set]
+	geom := s.cfg.Geom
+	zero := make([]byte, geom.SectorPayloadBytes)
+	avail := make(map[int][]byte)
+	for pos, mid := range members {
+		if pos == pi.setPos {
+			continue
+		}
+		mpi := s.platters[mid]
+		if mpi == nil || mpi.failed {
+			continue
+		}
+		usedTracks := (mpi.usedInfoSectors + geom.InfoSectorsPerTrack - 1) / geom.InfoSectorsPerTrack
+		infoTrack := infoSector / geom.InfoSectorsPerTrack
+		sPos := infoSector % geom.InfoSectorsPerTrack
+		if infoTrack >= usedTracks {
+			avail[pos] = zero
+			continue
+		}
+		phys := geom.InfoTrackPhysical(infoTrack)
+		if payload, ok := s.decodeSector(mpi, phys, sPos); ok {
+			avail[pos] = payload
+		} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos); ok {
+			avail[pos] = payload
+		}
+	}
+	rec, err := s.setGroup.Reconstruct(avail, []int{pi.setPos})
+	if err != nil {
+		return nil, fmt.Errorf("%w: set recovery failed: %v", ErrUnavailable, err)
+	}
+	return rec[pi.setPos], nil
+}

@@ -1,0 +1,415 @@
+package service
+
+import (
+	"fmt"
+
+	"silica/internal/layout"
+	"silica/internal/media"
+	"silica/internal/metadata"
+	"silica/internal/sim"
+	"silica/internal/staging"
+)
+
+// Flush drains the staging tier: batches staged files into platter
+// plans, writes and verifies each platter, records extents, completes
+// platter-sets with redundancy platters, and releases verified staged
+// data. Files on a platter that fails verification stay staged and are
+// re-batched on the next Flush (§5: "it can simply be kept in staging
+// and rewritten onto a different platter later").
+func (s *Service) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	noProgress := 0
+	for {
+		batch := s.tier.NextBatch(s.platterTargetBytes())
+		if len(batch) == 0 {
+			return nil
+		}
+		plans := layout.AssignFiles(batch, s.cfg.Geom, s.effectiveShardCap())
+		verified := make(map[string]bool) // fileID -> fully durable
+		extents := make(map[string][]metadata.Extent)
+		fileOf := make(map[string]*staging.File)
+		for _, f := range batch {
+			verified[stageID(f)] = true
+			fileOf[stageID(f)] = f
+		}
+		for _, plan := range plans {
+			id, err := s.writePlatter(plan, batch)
+			if err != nil {
+				return err
+			}
+			if id < 0 {
+				// Verification failed: every file with a shard on this
+				// platter stays staged.
+				for _, e := range plan.Entries {
+					verified[fmt.Sprintf("%s#%d", e.Key, e.Version)] = false
+				}
+				continue
+			}
+			for _, e := range plan.Entries {
+				fid := fmt.Sprintf("%s#%d", e.Key, e.Version)
+				extents[fid] = append(extents[fid], metadata.Extent{
+					Platter:     id,
+					FirstSector: e.FirstSector,
+					SectorCount: e.SectorCount,
+					Shard:       e.Shard,
+				})
+			}
+		}
+		var release []*staging.File
+		for fid, ok := range verified {
+			if !ok {
+				continue
+			}
+			f := fileOf[fid]
+			if err := s.meta.SetExtents(f.Key, f.Version, extents[fid]); err != nil {
+				return err
+			}
+			release = append(release, f)
+		}
+		if err := s.tier.Release(release); err != nil {
+			return err
+		}
+		if len(release) == 0 {
+			// Nothing verified this round. Retry: the rewrite lands on
+			// fresh platters whose scrambling decorrelates the voxel
+			// patterns, so occasional verification faults clear. Give
+			// up only when the channel is evidently hopeless.
+			noProgress++
+			if noProgress >= 3 {
+				return fmt.Errorf("service: flush made no progress after %d rounds (channel too noisy?)", noProgress)
+			}
+			continue
+		}
+		noProgress = 0
+	}
+}
+
+func stageID(f *staging.File) string {
+	return fmt.Sprintf("%s#%d", f.Key, f.Version)
+}
+
+func (s *Service) platterTargetBytes() int64 {
+	return s.cfg.Geom.PlatterUserBytes()
+}
+
+// writePlatter pushes one plan through the write drive: modulate every
+// sector into glass, then verify the whole platter through the read
+// path (§3.1). Returns the platter id, or -1 when verification deemed
+// it unrecoverable (platter faulted, data stays staged).
+func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) (media.PlatterID, error) {
+	geom := s.cfg.Geom
+	id := s.nextPlatter
+	s.nextPlatter++
+	p := media.NewPlatter(id, geom)
+	pi := &platterInfo{platter: p, set: -1}
+	s.platters[id] = pi
+	if err := p.Transition(media.Writing); err != nil {
+		return -1, err
+	}
+
+	// Assemble info-sector payloads in plan order.
+	iPerTrack := geom.InfoSectorsPerTrack
+	usedTracks := (plan.SectorsUsed + iPerTrack - 1) / iPerTrack
+	payloads := make([][]byte, usedTracks*iPerTrack)
+	for i := range payloads {
+		payloads[i] = make([]byte, geom.SectorPayloadBytes)
+	}
+	byID := make(map[string]*staging.File, len(batch))
+	for _, f := range batch {
+		byID[stageID(f)] = f
+	}
+	for _, e := range plan.Entries {
+		f := byID[fmt.Sprintf("%s#%d", e.Key, e.Version)]
+		if f == nil {
+			return -1, fmt.Errorf("service: plan references unknown file %v#%d", e.Key, e.Version)
+		}
+		// Shard data offset: shards were cut in order, each
+		// MaxShardSectors except the last.
+		off := int64(0)
+		for _, prev := range s.shardExtentsBefore(plan, e) {
+			off += int64(prev) * int64(geom.SectorPayloadBytes)
+		}
+		for k := 0; k < e.SectorCount; k++ {
+			dst := payloads[e.FirstSector+k]
+			start := off + int64(k)*int64(geom.SectorPayloadBytes)
+			if start < int64(len(f.Data)) {
+				copy(dst, f.Data[start:])
+			}
+		}
+	}
+	pi.payloads = payloads
+	pi.usedInfoSectors = plan.SectorsUsed
+
+	// Write info tracks with within-track redundancy.
+	for it := 0; it < usedTracks; it++ {
+		info := payloads[it*iPerTrack : (it+1)*iPerTrack]
+		red, err := s.withinTrack.EncodeRedundancy(info)
+		if err != nil {
+			return -1, err
+		}
+		phys := geom.InfoTrackPhysical(it)
+		if err := s.writeTrack(p, phys, info, red); err != nil {
+			return -1, err
+		}
+		s.stats.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+	}
+	// Large-group redundancy tracks over every group touched. Unused
+	// member tracks are implicitly zero.
+	lgi := geom.LargeGroupInfoTracks
+	for g := 0; g*lgi < usedTracks; g++ {
+		members := make([][]byte, 0, lgi)
+		zero := make([]byte, geom.SectorPayloadBytes)
+		for sPos := 0; sPos < iPerTrack; sPos++ {
+			members = members[:0]
+			for m := 0; m < lgi; m++ {
+				it := g*lgi + m
+				if it < usedTracks {
+					members = append(members, payloads[it*iPerTrack+sPos])
+				} else {
+					members = append(members, zero)
+				}
+			}
+			red, err := s.largeGroup.EncodeRedundancy(members)
+			if err != nil {
+				return -1, err
+			}
+			for j, unit := range red {
+				phys := geom.LargeGroupRedTrack(g, j)
+				if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
+					return -1, err
+				}
+				s.stats.RedundancyBytes += int64(geom.SectorPayloadBytes)
+			}
+		}
+	}
+
+	if err := p.Transition(media.Written); err != nil {
+		return -1, err
+	}
+	// Verification: full read-back through the real read path (§3.1).
+	if err := p.Transition(media.Verifying); err != nil {
+		return -1, err
+	}
+	if !s.verifyPlatter(pi, usedTracks) {
+		s.stats.PlattersFaulted++
+		if err := p.Transition(media.Faulted); err != nil {
+			return -1, err
+		}
+		delete(s.platters, id)
+		return -1, nil
+	}
+	if err := p.Transition(media.Stored); err != nil {
+		return -1, err
+	}
+	s.stats.PlattersWritten++
+	s.stats.BytesStored += int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes)
+	s.addToSet(id, pi)
+	return id, nil
+}
+
+// effectiveShardCap is the shard size AssignFiles actually applies:
+// the configured cap (or the layout default), bounded by a platter's
+// information capacity.
+func (s *Service) effectiveShardCap() int {
+	geom := s.cfg.Geom
+	cap := s.cfg.MaxShardSectors
+	if cap < 1 {
+		cap = geom.InfoSectorsPerTrack * 100
+	}
+	if platterInfo := geom.InfoTracksPerPlatter() * geom.InfoSectorsPerTrack; cap > platterInfo {
+		cap = platterInfo
+	}
+	return cap
+}
+
+// shardExtentsBefore returns the sector counts of this file's earlier
+// shards (on previous platters), to compute the data offset. Shards
+// are cut at a fixed size, so every shard before the last spans
+// exactly the shard cap.
+func (s *Service) shardExtentsBefore(plan *layout.PlatterPlan, e layout.Placement) []int {
+	out := make([]int, 0, e.Shard)
+	for i := 0; i < e.Shard; i++ {
+		out = append(out, s.effectiveShardCap())
+	}
+	return out
+}
+
+// scramble XORs a payload with a pseudo-random stream keyed by the
+// sector's physical address. Voxel error rates are data-dependent
+// (inter-symbol interference follows the written pattern), so without
+// scrambling a payload that fails verification would fail identically
+// on every rewrite; the per-platter key decorrelates rewrites, exactly
+// why production storage media scramble data before modulation.
+// XOR is its own inverse, so the same call descrambles.
+func scramble(payload []byte, platter media.PlatterID, track, sector int) []byte {
+	seed := uint64(platter)*0x9e3779b97f4a7c15 ^ uint64(track)<<20 ^ uint64(sector)
+	r := sim.NewRNG(seed)
+	out := make([]byte, len(payload))
+	for i := 0; i < len(payload); i += 8 {
+		w := r.Uint64()
+		for j := 0; j < 8 && i+j < len(payload); j++ {
+			out[i+j] = payload[i+j] ^ byte(w>>uint(8*j))
+		}
+	}
+	return out
+}
+
+// writeSectorScrambled scrambles, modulates, and writes one sector.
+func (s *Service) writeSectorScrambled(p *media.Platter, id media.SectorID, payload []byte) error {
+	symbols := s.pipe.WriteSector(scramble(payload, p.ID, id.Track, id.Sector))
+	if err := p.WriteSector(id, symbols); err != nil {
+		return err
+	}
+	s.stats.SectorsWritten++
+	return nil
+}
+
+// writeTrack modulates and writes one full track.
+func (s *Service) writeTrack(p *media.Platter, phys int, info, red [][]byte) error {
+	for i, payload := range info {
+		if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: i}, payload); err != nil {
+			return err
+		}
+	}
+	base := len(info)
+	for j, payload := range red {
+		if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: base + j}, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyPlatter reads back every written info track through the read
+// channel and checks that each track is recoverable (at most R_t
+// failed sectors). It records the worst LDPC margin observed —
+// "together with the expected read error rate over time, we can
+// determine whether to record a file as durably stored" (§5).
+func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int) bool {
+	geom := s.cfg.Geom
+	for it := 0; it < usedTracks; it++ {
+		phys := geom.InfoTrackPhysical(it)
+		failures := 0
+		for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
+			symbols, ok := pi.platter.ReadSector(media.SectorID{Track: phys, Sector: sPos})
+			if !ok {
+				failures++
+				continue
+			}
+			res := s.pipe.ReadSector(symbols, s.rng)
+			if !res.OK {
+				failures++
+				s.stats.VerifyFailures++
+				continue
+			}
+			if res.Margin < s.stats.MinVerifyMargin {
+				s.stats.MinVerifyMargin = res.Margin
+			}
+		}
+		if failures > geom.RedundancySectorsPerTrack {
+			return false
+		}
+	}
+	return true
+}
+
+// addToSet accumulates verified information platters into the pending
+// platter-set; when SetInfo platters are ready, SetRed redundancy
+// platters are written and the set closes (§6).
+func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
+	pi.set = len(s.sets)
+	pi.setPos = len(s.pendingSet)
+	s.pendingSet = append(s.pendingSet, id)
+	if len(s.pendingSet) < s.cfg.SetInfo {
+		return
+	}
+	members := append([]media.PlatterID(nil), s.pendingSet...)
+	s.pendingSet = nil
+
+	// Redundancy platters: sector (track t, pos p) of redundancy
+	// platter r is the NC combination of members' (t, p) payloads.
+	geom := s.cfg.Geom
+	iPerTrack := geom.InfoSectorsPerTrack
+	maxSectors := 0
+	for _, m := range members {
+		if n := len(s.platters[m].payloads); n > maxSectors {
+			maxSectors = n
+		}
+	}
+	zero := make([]byte, geom.SectorPayloadBytes)
+	units := make([][]byte, s.cfg.SetInfo)
+	redPayloads := make([][][]byte, s.cfg.SetRed)
+	for r := range redPayloads {
+		redPayloads[r] = make([][]byte, maxSectors)
+	}
+	for sec := 0; sec < maxSectors; sec++ {
+		for mi, m := range members {
+			pls := s.platters[m].payloads
+			if sec < len(pls) {
+				units[mi] = pls[sec]
+			} else {
+				units[mi] = zero
+			}
+		}
+		red, err := s.setGroup.EncodeRedundancy(units)
+		if err != nil {
+			// Construction guarantees shapes; treat as programmer error.
+			panic(err)
+		}
+		for r := range red {
+			redPayloads[r][sec] = red[r]
+		}
+	}
+	for r := 0; r < s.cfg.SetRed; r++ {
+		rid := s.nextPlatter
+		s.nextPlatter++
+		p := media.NewPlatter(rid, geom)
+		rpi := &platterInfo{
+			platter: p, payloads: redPayloads[r], usedInfoSectors: maxSectors,
+			set: len(s.sets), setPos: s.cfg.SetInfo + r, isRedundancy: true,
+		}
+		s.platters[rid] = rpi
+		mustTransition(p, media.Writing)
+		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
+		for it := 0; it < usedTracks; it++ {
+			info := make([][]byte, iPerTrack)
+			for k := range info {
+				idx := it*iPerTrack + k
+				if idx < maxSectors {
+					info[k] = redPayloads[r][idx]
+				} else {
+					info[k] = zero
+				}
+			}
+			wred, err := s.withinTrack.EncodeRedundancy(info)
+			if err != nil {
+				panic(err)
+			}
+			if err := s.writeTrack(p, geom.InfoTrackPhysical(it), info, wred); err != nil {
+				panic(err)
+			}
+		}
+		mustTransition(p, media.Written)
+		mustTransition(p, media.Verifying)
+		s.verifyPlatter(rpi, usedTracks)
+		mustTransition(p, media.Stored)
+		members = append(members, rid)
+		s.stats.RedundancyPlatters++
+		s.stats.RedundancyBytes += int64(maxSectors) * int64(geom.SectorPayloadBytes)
+	}
+	s.sets = append(s.sets, members)
+	s.stats.SetsCompleted++
+	// Payload caches can be dropped once the set is protected; keep
+	// redundancy payloads too — they are small at tiny geometry and
+	// recovery decodes from glass anyway.
+	for _, m := range members {
+		s.platters[m].payloads = nil
+	}
+}
+
+func mustTransition(p *media.Platter, st media.PlatterState) {
+	if err := p.Transition(st); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package staging implements the online write-staging tier (§2, §6).
+// Ingress at a data center is bursty at day granularity (peak/mean up
+// to ~16x) but smooth across 30-day windows (peak/mean ~2), so Silica
+// buffers incoming files in warm storage and drains them to the write
+// drives at a smoothed rate, keeping write-drive utilization high with
+// modest provisioning. Staged data is only released after the written
+// platter verifies.
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"silica/internal/metadata"
+	"silica/internal/stats"
+)
+
+// ErrFull is returned when the tier cannot admit a file.
+var ErrFull = errors.New("staging: tier full")
+
+// File is one staged object.
+type File struct {
+	Key     metadata.FileKey
+	Version int
+	Size    int64
+	Arrival float64 // virtual seconds
+	// Data holds the (encrypted) bytes in real-codec mode; nil when the
+	// simulator only tracks sizes.
+	Data []byte
+}
+
+// Tier is the staging buffer. Files are admitted on write, grouped
+// into platter-sized batches for the write drive, and released after
+// verification.
+type Tier struct {
+	Capacity int64 // bytes; 0 means unbounded
+	used     int64
+	files    []*File
+	released map[string]bool
+	peakUsed int64
+}
+
+// NewTier returns a staging tier with the given capacity (0 = unbounded).
+func NewTier(capacity int64) *Tier {
+	return &Tier{Capacity: capacity, released: make(map[string]bool)}
+}
+
+// Used reports currently staged bytes.
+func (t *Tier) Used() int64 { return t.used }
+
+// PeakUsed reports the high-water mark, the provisioning figure §2's
+// smoothing argument is about.
+func (t *Tier) PeakUsed() int64 { return t.peakUsed }
+
+// Pending reports the number of staged files.
+func (t *Tier) Pending() int { return len(t.files) }
+
+// Admit stages a file. It fails with ErrFull when capacity would be
+// exceeded: the backpressure signal to the front end.
+func (t *Tier) Admit(f *File) error {
+	if f.Size < 0 {
+		return fmt.Errorf("staging: negative size for %v", f.Key)
+	}
+	if t.Capacity > 0 && t.used+f.Size > t.Capacity {
+		return fmt.Errorf("%w: %d used + %d > %d", ErrFull, t.used, f.Size, t.Capacity)
+	}
+	t.files = append(t.files, f)
+	t.used += f.Size
+	if t.used > t.peakUsed {
+		t.peakUsed = t.used
+	}
+	return nil
+}
+
+func fileID(f *File) string {
+	return fmt.Sprintf("%s#%d", f.Key, f.Version)
+}
+
+// NextBatch assembles up to targetBytes of staged files for one platter
+// write, implementing the §6 packing heuristic: group by customer
+// account, then by arrival time, so files likely to be read together
+// land on the same platter. Files in the batch remain staged (and
+// counted) until Release. Returns nil if nothing is staged.
+func (t *Tier) NextBatch(targetBytes int64) []*File {
+	if len(t.files) == 0 {
+		return nil
+	}
+	// Stable order: account, then arrival, then name.
+	sorted := append([]*File(nil), t.files...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Key.Account != b.Key.Account {
+			return a.Key.Account < b.Key.Account
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.Key.Name < b.Key.Name
+	})
+	var batch []*File
+	var total int64
+	for _, f := range sorted {
+		if total+f.Size > targetBytes && len(batch) > 0 {
+			break
+		}
+		batch = append(batch, f)
+		total += f.Size
+		if total >= targetBytes {
+			break
+		}
+	}
+	return batch
+}
+
+// Find locates a staged file by key and version, for serving reads of
+// data that is not yet durable in glass.
+func (t *Tier) Find(key metadata.FileKey, version int) (*File, bool) {
+	for _, f := range t.files {
+		if f.Key == key && f.Version == version {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Release frees the staging space of verified files. Releasing a file
+// that is not staged is an error (double release or never admitted).
+func (t *Tier) Release(files []*File) error {
+	want := make(map[string]bool, len(files))
+	for _, f := range files {
+		want[fileID(f)] = true
+	}
+	kept := t.files[:0]
+	for _, f := range t.files {
+		if want[fileID(f)] {
+			t.used -= f.Size
+			delete(want, fileID(f))
+			t.released[fileID(f)] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	t.files = kept
+	if len(want) > 0 {
+		for id := range want {
+			return fmt.Errorf("staging: release of unknown file %s", id)
+		}
+	}
+	return nil
+}
+
+// SmoothedDrainRate computes the write-drive dispatch rate (bytes/sec)
+// that §2 justifies: the mean ingress over the aggregation window
+// times a small headroom factor, instead of provisioning for the daily
+// peak. dailyIngress is bytes per day; windowDays is the smoothing
+// window (the paper uses ~30); headroom of ~1.2 keeps the buffer
+// bounded while staying near-peak utilization.
+func SmoothedDrainRate(dailyIngress []float64, windowDays int, headroom float64) float64 {
+	if len(dailyIngress) == 0 || windowDays <= 0 {
+		return 0
+	}
+	if windowDays > len(dailyIngress) {
+		windowDays = len(dailyIngress)
+	}
+	// Peak windowDays-day average, in bytes/day.
+	var winSum float64
+	for i := 0; i < windowDays; i++ {
+		winSum += dailyIngress[i]
+	}
+	peak := winSum
+	for i := windowDays; i < len(dailyIngress); i++ {
+		winSum += dailyIngress[i] - dailyIngress[i-windowDays]
+		if winSum > peak {
+			peak = winSum
+		}
+	}
+	perDay := peak / float64(windowDays) * headroom
+	return perDay / 86400
+}
+
+// RequiredBuffer simulates draining dailyIngress at drainRate
+// (bytes/sec) and returns the peak buffer occupancy in bytes: the
+// staging capacity needed for that drain rate.
+func RequiredBuffer(dailyIngress []float64, drainRate float64) float64 {
+	perDay := drainRate * 86400
+	var buf, peak float64
+	for _, in := range dailyIngress {
+		buf += in
+		buf -= perDay
+		if buf < 0 {
+			buf = 0
+		}
+		if buf > peak {
+			peak = buf
+		}
+	}
+	return peak
+}
+
+// PeakOverMean exposes the Figure 2 metric for a daily ingress series
+// at a given aggregation window.
+func PeakOverMean(dailyIngress []float64, windowDays int) float64 {
+	return stats.PeakOverMean(dailyIngress, windowDays)
+}

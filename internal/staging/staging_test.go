@@ -1,0 +1,227 @@
+package staging
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"silica/internal/metadata"
+	"silica/internal/sim"
+)
+
+func file(account, name string, size int64, arrival float64) *File {
+	return &File{
+		Key:     metadata.FileKey{Account: account, Name: name},
+		Version: 1,
+		Size:    size,
+		Arrival: arrival,
+	}
+}
+
+func TestAdmitAndCapacity(t *testing.T) {
+	tier := NewTier(100)
+	if err := tier.Admit(file("a", "1", 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Admit(file("a", "2", 50, 1)); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity admit: %v", err)
+	}
+	if err := tier.Admit(file("a", "3", 40, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Used() != 100 || tier.Pending() != 2 {
+		t.Fatalf("used=%d pending=%d", tier.Used(), tier.Pending())
+	}
+	if tier.PeakUsed() != 100 {
+		t.Fatalf("peak = %d", tier.PeakUsed())
+	}
+	if err := tier.Admit(file("a", "bad", -1, 0)); err == nil {
+		t.Fatal("negative size admitted")
+	}
+}
+
+func TestUnboundedTier(t *testing.T) {
+	tier := NewTier(0)
+	for i := 0; i < 100; i++ {
+		if err := tier.Admit(file("a", string(rune('a'+i)), 1e9, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNextBatchGroupsByAccountThenArrival(t *testing.T) {
+	tier := NewTier(0)
+	tier.Admit(file("beta", "x", 10, 5))
+	tier.Admit(file("alpha", "y", 10, 9))
+	tier.Admit(file("alpha", "z", 10, 2))
+	batch := tier.NextBatch(25)
+	if len(batch) != 2 {
+		t.Fatalf("batch size = %d, want 2", len(batch))
+	}
+	// alpha's files first, ordered by arrival.
+	if batch[0].Key.Account != "alpha" || batch[0].Key.Name != "z" {
+		t.Fatalf("batch[0] = %+v", batch[0].Key)
+	}
+	if batch[1].Key.Account != "alpha" || batch[1].Key.Name != "y" {
+		t.Fatalf("batch[1] = %+v", batch[1].Key)
+	}
+}
+
+func TestNextBatchRespectsTarget(t *testing.T) {
+	tier := NewTier(0)
+	tier.Admit(file("a", "1", 40, 0))
+	tier.Admit(file("a", "2", 40, 1))
+	tier.Admit(file("a", "3", 40, 2))
+	batch := tier.NextBatch(100)
+	var total int64
+	for _, f := range batch {
+		total += f.Size
+	}
+	if total > 100 {
+		t.Fatalf("batch bytes = %d > target", total)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch files = %d, want 2", len(batch))
+	}
+}
+
+func TestNextBatchOversizeFileStillShips(t *testing.T) {
+	// A single file larger than the target must still form a batch
+	// (sharding across platters happens at layout).
+	tier := NewTier(0)
+	tier.Admit(file("a", "big", 500, 0))
+	batch := tier.NextBatch(100)
+	if len(batch) != 1 {
+		t.Fatalf("oversize batch = %d files", len(batch))
+	}
+}
+
+func TestNextBatchEmpty(t *testing.T) {
+	tier := NewTier(0)
+	if b := tier.NextBatch(100); b != nil {
+		t.Fatalf("empty tier returned batch of %d", len(b))
+	}
+}
+
+func TestReleaseFreesSpace(t *testing.T) {
+	tier := NewTier(0)
+	f1 := file("a", "1", 30, 0)
+	f2 := file("a", "2", 40, 1)
+	tier.Admit(f1)
+	tier.Admit(f2)
+	if err := tier.Release([]*File{f1}); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Used() != 40 || tier.Pending() != 1 {
+		t.Fatalf("used=%d pending=%d", tier.Used(), tier.Pending())
+	}
+	if err := tier.Release([]*File{f1}); err == nil {
+		t.Fatal("double release allowed")
+	}
+}
+
+func TestBatchThenReleaseLifecycle(t *testing.T) {
+	// The §3.1 rule: staged data is deleted only after verification.
+	tier := NewTier(0)
+	f := file("a", "1", 30, 0)
+	tier.Admit(f)
+	batch := tier.NextBatch(100)
+	if len(batch) != 1 {
+		t.Fatal("no batch")
+	}
+	// Batch formation must NOT free space; verification hasn't run.
+	if tier.Used() != 30 {
+		t.Fatalf("batch formation freed staging: used=%d", tier.Used())
+	}
+	if err := tier.Release(batch); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Used() != 0 {
+		t.Fatalf("used after release = %d", tier.Used())
+	}
+}
+
+func burstySeries(days int, seed uint64) []float64 {
+	// Mostly-quiet days with heavy spikes: the §2 ingress shape.
+	r := sim.NewRNG(seed)
+	out := make([]float64, days)
+	for i := range out {
+		out[i] = 1e12 * (0.2 + 0.3*r.Float64())
+		if r.Float64() < 0.05 {
+			out[i] += 2e13 * r.Float64()
+		}
+	}
+	return out
+}
+
+func TestSmoothedDrainRateBeatsPeakProvisioning(t *testing.T) {
+	days := burstySeries(180, 1)
+	var peakDay, total float64
+	for _, d := range days {
+		total += d
+		if d > peakDay {
+			peakDay = d
+		}
+	}
+	meanRate := total / float64(len(days)) / 86400
+	peakRate := peakDay / 86400
+	smoothed := SmoothedDrainRate(days, 30, 1.2)
+	if smoothed >= peakRate {
+		t.Fatalf("smoothed rate %v should be far below peak %v", smoothed, peakRate)
+	}
+	if smoothed < meanRate {
+		t.Fatalf("smoothed rate %v must cover the mean %v", smoothed, meanRate)
+	}
+}
+
+func TestSmoothedDrainRateEdges(t *testing.T) {
+	if SmoothedDrainRate(nil, 30, 1.2) != 0 {
+		t.Fatal("empty series should be 0")
+	}
+	if SmoothedDrainRate([]float64{5}, 0, 1.2) != 0 {
+		t.Fatal("zero window should be 0")
+	}
+	// Window longer than the series clamps.
+	got := SmoothedDrainRate([]float64{86400, 86400}, 10, 1)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("clamped window rate = %v, want 1", got)
+	}
+}
+
+func TestRequiredBufferBounded(t *testing.T) {
+	days := burstySeries(180, 2)
+	rate := SmoothedDrainRate(days, 30, 1.2)
+	buf := RequiredBuffer(days, rate)
+	var total float64
+	for _, d := range days {
+		total += d
+	}
+	// The whole point of smoothing: buffer a small fraction of total
+	// ingress, not weeks of peak traffic.
+	if buf > total*0.25 {
+		t.Fatalf("required buffer %v is %v%% of total ingress", buf, 100*buf/total)
+	}
+	// Draining faster needs less buffer.
+	buf2 := RequiredBuffer(days, rate*2)
+	if buf2 > buf {
+		t.Fatalf("faster drain needs more buffer? %v > %v", buf2, buf)
+	}
+}
+
+func TestPeakOverMeanShrinksWithWindow(t *testing.T) {
+	// Figure 2's shape: peak/mean falls from ~16x at 1 day toward ~2
+	// at 30+ days.
+	days := burstySeries(180, 3)
+	p1 := PeakOverMean(days, 1)
+	p30 := PeakOverMean(days, 30)
+	p60 := PeakOverMean(days, 60)
+	if !(p1 > p30 && p30 >= p60) {
+		t.Fatalf("peak/mean not shrinking: %v, %v, %v", p1, p30, p60)
+	}
+	if p1 < 3 {
+		t.Fatalf("daily peak/mean %v too smooth for a bursty series", p1)
+	}
+	if p60 > 3 {
+		t.Fatalf("60-day peak/mean %v should be small", p60)
+	}
+}

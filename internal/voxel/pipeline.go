@@ -1,0 +1,69 @@
+package voxel
+
+import (
+	"silica/internal/ldpc"
+	"silica/internal/sim"
+)
+
+// SectorPipeline is the full per-sector data path: payload bytes →
+// LDPC-coded bits → voxel symbols → channel → soft demap → BP decode →
+// payload bytes. It is the unit the write pipeline, verification, and
+// the decode stack all share.
+type SectorPipeline struct {
+	Codec    *ldpc.SectorCodec
+	Mod      *Modulation
+	Ch       Channel
+	Demap    *Demapper
+	MaxIters int
+}
+
+// NewSectorPipeline wires a sector codec to a channel model.
+func NewSectorPipeline(codec *ldpc.SectorCodec, ch Channel) *SectorPipeline {
+	mod := NewModulation()
+	return &SectorPipeline{
+		Codec:    codec,
+		Mod:      mod,
+		Ch:       ch,
+		Demap:    NewDemapper(mod, ch),
+		MaxIters: 50,
+	}
+}
+
+// SymbolsPerSector reports the voxel count of one coded sector.
+func (p *SectorPipeline) SymbolsPerSector() int {
+	return (p.Codec.EncodedBits() + BitsPerVoxel - 1) / BitsPerVoxel
+}
+
+// WriteSector encodes a payload into the voxel symbols to be written.
+func (p *SectorPipeline) WriteSector(payload []byte) []uint8 {
+	bits := p.Codec.EncodeSector(payload)
+	return Modulate(PadBits(bits))
+}
+
+// ReadSector pushes written symbols through the read channel and
+// decodes them. rng drives the stochastic read noise.
+func (p *SectorPipeline) ReadSector(symbols []uint8, rng *sim.RNG) ldpc.SectorDecode {
+	received := p.Ch.Transmit(p.Mod, symbols, rng)
+	post := p.Demap.Posteriors(received)
+	llrs := BitLLRs(post)
+	return p.Codec.DecodeSector(llrs[:p.Codec.EncodedBits()], p.MaxIters)
+}
+
+// MeasureSectorFailureRate estimates the sector failure probability at
+// the pipeline's operating point by Monte Carlo: the §6 calibration
+// that fixes the within-track redundancy provisioning.
+func (p *SectorPipeline) MeasureSectorFailureRate(trials int, seed uint64) float64 {
+	rng := sim.NewRNG(seed)
+	payload := make([]byte, p.Codec.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	symbols := p.WriteSector(payload)
+	failures := 0
+	for t := 0; t < trials; t++ {
+		if res := p.ReadSector(symbols, rng); !res.OK {
+			failures++
+		}
+	}
+	return float64(failures) / float64(trials)
+}

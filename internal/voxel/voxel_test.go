@@ -1,0 +1,288 @@
+package voxel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"silica/internal/ldpc"
+	"silica/internal/sim"
+)
+
+func TestConstellationGeometry(t *testing.T) {
+	m := NewModulation()
+	// All 16 points distinct, all within [-1,1]^2.
+	seen := map[Point]bool{}
+	for s := 0; s < 16; s++ {
+		p := m.IdealPoint(uint8(s))
+		if p.A < -1 || p.A > 1 || p.R < -1 || p.R > 1 {
+			t.Fatalf("symbol %d point %+v out of range", s, p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate constellation point %+v", p)
+		}
+		seen[p] = true
+	}
+	// Minimum pairwise distance matches MinDistance.
+	min := math.Inf(1)
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			pa, pb := m.IdealPoint(uint8(a)), m.IdealPoint(uint8(b))
+			d := math.Hypot(pa.A-pb.A, pa.R-pb.R)
+			if d < min {
+				min = d
+			}
+		}
+	}
+	if math.Abs(min-m.MinDistance()) > 1e-12 {
+		t.Fatalf("min distance = %v, want %v", min, m.MinDistance())
+	}
+}
+
+func TestGrayMappingNeighbourProperty(t *testing.T) {
+	// Horizontally adjacent constellation points must differ in exactly
+	// one bit (that is the point of Gray mapping: most symbol errors
+	// cause a single bit error).
+	m := NewModulation()
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			pa, pb := m.IdealPoint(uint8(a)), m.IdealPoint(uint8(b))
+			d := math.Hypot(pa.A-pb.A, pa.R-pb.R)
+			if math.Abs(d-m.MinDistance()) < 1e-9 {
+				diff := a ^ b
+				if diff&(diff-1) != 0 {
+					t.Fatalf("adjacent symbols %d,%d differ in >1 bit", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestModulateRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		bits := ldpc.BytesToBits(raw)
+		return bitsEq(Demodulate(Modulate(PadBits(bits)))[:len(bits)], bits)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulateUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Modulate did not panic")
+		}
+	}()
+	Modulate(make([]uint8, 5))
+}
+
+func TestPadBits(t *testing.T) {
+	if len(PadBits(make([]uint8, 4))) != 4 {
+		t.Fatal("aligned input should not grow")
+	}
+	if len(PadBits(make([]uint8, 5))) != 8 {
+		t.Fatal("5 bits should pad to 8")
+	}
+}
+
+func TestCleanChannelRoundTrip(t *testing.T) {
+	m := NewModulation()
+	ch := CleanChannel()
+	rng := sim.NewRNG(1)
+	syms := make([]uint8, 256)
+	for i := range syms {
+		syms[i] = uint8(rng.Intn(16))
+	}
+	rx := ch.Transmit(m, syms, rng)
+	d := NewDemapper(m, ch)
+	got := HardSymbols(d.Posteriors(rx))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("clean channel corrupted symbol %d", i)
+		}
+	}
+}
+
+func TestPosteriorsAreDistributions(t *testing.T) {
+	m := NewModulation()
+	ch := DefaultChannel()
+	rng := sim.NewRNG(2)
+	syms := make([]uint8, 500)
+	for i := range syms {
+		syms[i] = uint8(rng.Intn(16))
+	}
+	post := NewDemapper(m, ch).Posteriors(ch.Transmit(m, syms, rng))
+	for i, p := range post {
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("voxel %d: probability %v out of range", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("voxel %d: posterior sums to %v", i, sum)
+		}
+	}
+}
+
+func TestDefaultChannelRawSymbolErrorRate(t *testing.T) {
+	// The operating point should have a raw symbol error rate in the
+	// "few percent" range: low enough for LDPC, high enough that the
+	// code is actually doing work.
+	m := NewModulation()
+	ch := DefaultChannel()
+	rng := sim.NewRNG(3)
+	const n = 20000
+	syms := make([]uint8, n)
+	for i := range syms {
+		syms[i] = uint8(rng.Intn(16))
+	}
+	got := HardSymbols(NewDemapper(m, ch).Posteriors(ch.Transmit(m, syms, rng)))
+	errs := 0
+	for i := range syms {
+		if got[i] != syms[i] {
+			errs++
+		}
+	}
+	rate := float64(errs) / n
+	if rate < 0.001 || rate > 0.15 {
+		t.Fatalf("raw symbol error rate = %v, want a few percent", rate)
+	}
+}
+
+func TestMissingVoxelsDegradePosteriors(t *testing.T) {
+	m := NewModulation()
+	ch := CleanChannel()
+	ch.PMissing = 1 // every voxel missing
+	ch.Sigma = 0.1
+	rng := sim.NewRNG(4)
+	syms := []uint8{15, 15, 15, 15}
+	post := NewDemapper(m, ch).Posteriors(ch.Transmit(m, syms, rng))
+	// A missing voxel reads near the origin; the posterior should not
+	// be confidently the written corner symbol.
+	for _, p := range post {
+		if p[15] > 0.9 {
+			t.Fatalf("missing voxel still confidently decoded: %v", p[15])
+		}
+	}
+}
+
+func TestBitLLRSigns(t *testing.T) {
+	m := NewModulation()
+	ch := CleanChannel()
+	rng := sim.NewRNG(5)
+	syms := make([]uint8, 64)
+	for i := range syms {
+		syms[i] = uint8(i % 16)
+	}
+	llrs := BitLLRs(NewDemapper(m, ch).Posteriors(ch.Transmit(m, syms, rng)))
+	bits := Demodulate(syms)
+	for i, b := range bits {
+		if b == 0 && llrs[i] <= 0 {
+			t.Fatalf("bit %d is 0 but LLR %v", i, llrs[i])
+		}
+		if b == 1 && llrs[i] >= 0 {
+			t.Fatalf("bit %d is 1 but LLR %v", i, llrs[i])
+		}
+	}
+}
+
+func testPipeline(t testing.TB, ch Channel) *SectorPipeline {
+	t.Helper()
+	code, err := ldpc.NewCode(512, 384, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ldpc.NewSectorCodec(code, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSectorPipeline(sc, ch)
+}
+
+func TestSectorPipelineRoundTrip(t *testing.T) {
+	p := testPipeline(t, DefaultChannel())
+	rng := sim.NewRNG(6)
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	syms := p.WriteSector(payload)
+	if len(syms) != p.SymbolsPerSector() {
+		t.Fatalf("symbols = %d, want %d", len(syms), p.SymbolsPerSector())
+	}
+	for trial := 0; trial < 5; trial++ {
+		res := p.ReadSector(syms, rng)
+		if !res.OK {
+			t.Fatalf("trial %d: sector decode failed at default operating point", trial)
+		}
+		if !bytes.Equal(res.Payload, payload) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}
+
+// TestCalibratedSectorFailureRate pins the §6 calibration: at the
+// default operating point, sector failures are rare (target ~1e-3; we
+// assert < 2% over a modest Monte Carlo run) but the channel is genuinely
+// noisy (raw BER > 0).
+func TestCalibratedSectorFailureRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo")
+	}
+	p := testPipeline(t, DefaultChannel())
+	rate := p.MeasureSectorFailureRate(300, 7)
+	if rate > 0.02 {
+		t.Fatalf("sector failure rate = %v, want < 0.02", rate)
+	}
+}
+
+func TestHarshChannelFailsSectors(t *testing.T) {
+	ch := DefaultChannel()
+	ch.Sigma = 0.5 // hopeless
+	p := testPipeline(t, ch)
+	rate := p.MeasureSectorFailureRate(20, 8)
+	if rate < 0.5 {
+		t.Fatalf("harsh channel failure rate = %v, want mostly failing", rate)
+	}
+}
+
+func bitsEq(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkSectorWritePath(b *testing.B) {
+	p := testPipeline(b, DefaultChannel())
+	payload := make([]byte, 1000)
+	b.SetBytes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.WriteSector(payload)
+	}
+}
+
+func BenchmarkSectorReadPath(b *testing.B) {
+	p := testPipeline(b, DefaultChannel())
+	rng := sim.NewRNG(9)
+	payload := make([]byte, 1000)
+	syms := p.WriteSector(payload)
+	b.SetBytes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := p.ReadSector(syms, rng); !res.OK {
+			// Rare failures are acceptable here; they are the 1e-3.
+			continue
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package workload models the cloud archival workload of §2 and
+// generates the read traces the evaluation replays (§7.2). Every
+// distribution is calibrated against the paper's published statistics:
+// the file-size mix of Figure 1(b) (58.7% of reads ≤ 4 MiB carrying
+// only 1.2% of bytes; >256 MiB files ≈ 85% of bytes in <2% of reads;
+// mean file ~100 MB), the write dominance of Figure 1(a) (47 MB
+// written per MB read, 174 write ops per read op), the across-DC
+// heterogeneity of Figure 1(c) (tail/median hourly read rates spanning
+// up to 7 orders of magnitude), and the ingress burstiness of Figure 2
+// (peak/mean ~16 at day granularity decaying to ~2 at 30+ days).
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"silica/internal/sim"
+)
+
+// Size units.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+	TiB = int64(1) << 40
+)
+
+// SizeBucketBounds are Figure 1(b)'s file-size buckets (upper bounds).
+var SizeBucketBounds = []int64{
+	4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB,
+	1 * GiB, 4 * GiB, 16 * GiB, 64 * GiB,
+	256 * GiB, 1 * TiB, 4 * TiB, 16 * TiB,
+}
+
+// defaultBucketWeights are per-bucket read-count probabilities,
+// calibrated so the emergent statistics match the paper (see package
+// comment). Order matches SizeBucketBounds.
+var defaultBucketWeights = []float64{
+	58.7,      // <= 4 MiB: the small-file majority
+	29.0,      // 4-16 MiB
+	4.0,       // 16-64 MiB
+	6.1,       // 64-256 MiB
+	1.25,      // 256 MiB - 1 GiB
+	0.62,      // 1-4 GiB
+	0.178,     // 4-16 GiB
+	0.0418,    // 16-64 GiB
+	0.0078,    // 64-256 GiB
+	0.0014,    // 256 GiB - 1 TiB
+	0.00026,   // 1-4 TiB
+	0.0000524, // 4-16 TiB
+}
+
+// SizeModel samples file sizes: a bucket by calibrated weight, then
+// log-uniform within the bucket.
+type SizeModel struct {
+	bounds []int64
+	cdf    []float64
+}
+
+// DefaultSizeModel returns the Figure 1(b)-calibrated model.
+func DefaultSizeModel() *SizeModel {
+	return NewSizeModel(SizeBucketBounds, defaultBucketWeights)
+}
+
+// NewSizeModel builds a model from bucket upper bounds and weights.
+func NewSizeModel(bounds []int64, weights []float64) *SizeModel {
+	if len(bounds) != len(weights) || len(bounds) == 0 {
+		panic("workload: bounds/weights mismatch")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &SizeModel{bounds: append([]int64(nil), bounds...), cdf: cdf}
+}
+
+// Sample draws one file size in bytes.
+func (m *SizeModel) Sample(r *sim.RNG) int64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cdf, u)
+	if i >= len(m.bounds) {
+		i = len(m.bounds) - 1
+	}
+	hi := float64(m.bounds[i])
+	lo := hi / 4
+	if i == 0 {
+		lo = hi / 16 // the smallest bucket spans down to ~256 KiB
+	}
+	// Log-uniform within the bucket.
+	v := lo * math.Pow(hi/lo, r.Float64())
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}

@@ -1,0 +1,37 @@
+# Tier 1: the fast correctness bar (also what CI gates on).
+# Tier 2: race detection plus a gateway load smoke under deliberate
+#         overload — must report zero lost/corrupted and nonzero
+#         rejections.
+
+GO ?= go
+
+.PHONY: all tier1 tier2 build test vet race smoke clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# 32 closed-loop clients against a deliberately small staging tier:
+# exercises admission control (429s), the flush scheduler, and the
+# byte-exact verification pass. silica-load exits nonzero on any lost
+# or corrupted object.
+smoke:
+	$(GO) run ./cmd/silica-load -clients 32 -ops 6 -object-bytes 1024 \
+		-staging-cap 40000 -retries 20
+
+tier2: vet race smoke
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,93 @@
+// Command silicad runs the Silica archive gateway as an HTTP daemon:
+// an in-memory glass archive behind admission control, per-class
+// request queues, and a batched flush scheduler.
+//
+//	silicad -listen :7070 -staging-cap 1048576 -flush-age 2s
+//
+// API (see internal/gateway):
+//
+//	PUT    /v1/objects/{account}/{name}   store object
+//	GET    /v1/objects/{account}/{name}   fetch object
+//	DELETE /v1/objects/{account}/{name}   crypto-shred object
+//	POST   /v1/flush                      force a staging drain
+//	GET    /v1/stats                      counters, latencies, staging usage
+//	GET    /v1/healthz                    liveness
+//
+// SIGINT/SIGTERM triggers graceful shutdown: admission stops, in-flight
+// requests drain, and staging is flushed to glass before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"silica/internal/gateway"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", ":7070", "HTTP listen address")
+		writeWorkers  = flag.Int("write-workers", 4, "write worker pool size")
+		readWorkers   = flag.Int("read-workers", 4, "read worker pool size")
+		writeQueue    = flag.Int("write-queue", 64, "write queue depth")
+		readQueue     = flag.Int("read-queue", 64, "read queue depth")
+		stagingCap    = flag.Int64("staging-cap", 0, "staging capacity in bytes (0 = unbounded)")
+		highWatermark = flag.Float64("high-watermark", 0.95, "staging fraction above which writes are rejected")
+		flushBytes    = flag.Int64("flush-bytes", 0, "staged bytes that trigger a flush (0 = one platter)")
+		flushAge      = flag.Duration("flush-age", 2*time.Second, "max staged age before a flush (0 = disabled)")
+		flushInterval = flag.Duration("flush-interval", 50*time.Millisecond, "scheduler evaluation period")
+	)
+	flag.Parse()
+
+	cfg := gateway.DefaultConfig()
+	cfg.WriteWorkers = *writeWorkers
+	cfg.ReadWorkers = *readWorkers
+	cfg.WriteQueue = *writeQueue
+	cfg.ReadQueue = *readQueue
+	cfg.Service.StagingCapacity = *stagingCap
+	cfg.StagingHighWatermark = *highWatermark
+	cfg.FlushBytes = *flushBytes
+	cfg.FlushAge = *flushAge
+	cfg.FlushInterval = *flushInterval
+
+	g, err := gateway.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("silicad listening on %s (staging cap %d, flush-age %s)", *listen, *stagingCap, *flushAge)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s; draining", sig)
+	case err := <-errc:
+		log.Printf("server error: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := g.Close(); err != nil && err != gateway.ErrClosed {
+		log.Printf("gateway close: %v", err)
+		os.Exit(1)
+	}
+	snap := g.Snapshot()
+	log.Printf("drained: %d completed, %d rejected, %d flushes, %d platters written",
+		snap.Counters.Completed, snap.Counters.Rejected, snap.Counters.Flushes,
+		snap.Service.PlattersWritten)
+}

@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"silica/internal/metadata"
+	"silica/internal/service"
+)
+
+// API is the object interface the gateway serves. Both the in-process
+// *Gateway and the HTTP *Client implement it, so tests and the load
+// generator run identically over either transport.
+type API interface {
+	Put(account, name string, data []byte) (int, error)
+	Get(account, name string) ([]byte, error)
+	Delete(account, name string) error
+	Flush() error
+}
+
+var (
+	_ API = (*Gateway)(nil)
+	_ API = (*Client)(nil)
+)
+
+// Client is the Go client for the gateway's HTTP API. HTTP statuses
+// map back to the same typed errors the in-process API returns:
+// 429 → ErrOverloaded, 404 → metadata.ErrNotFound,
+// 503 → service.ErrUnavailable.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for a gateway at baseURL
+// (e.g. "http://127.0.0.1:7070").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (c *Client) objectURL(account, name string) string {
+	return fmt.Sprintf("%s/v1/objects/%s/%s",
+		c.BaseURL, url.PathEscape(account), url.PathEscape(name))
+}
+
+// decodeError turns a non-2xx response into a typed error.
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", metadata.ErrNotFound, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", service.ErrUnavailable, msg)
+	default:
+		return fmt.Errorf("gateway: http %d: %s", resp.StatusCode, msg)
+	}
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// Put uploads data and returns the version written.
+func (c *Client) Put(account, name string, data []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPut, c.objectURL(account, name), bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("gateway: decoding put response: %w", err)
+	}
+	return out.Version, nil
+}
+
+// Get downloads the latest version of an object.
+func (c *Client) Get(account, name string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.objectURL(account, name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Delete removes an object.
+func (c *Client) Delete(account, name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.objectURL(account, name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Flush asks the daemon to drain its staging tier.
+func (c *Client) Flush() error {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/flush", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Stats fetches the daemon's stats snapshot.
+func (c *Client) Stats() (StatsSnapshot, error) {
+	var snap StatsSnapshot
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}

@@ -1,0 +1,348 @@
+// Package gateway is the concurrent serving layer in front of the
+// Silica storage service: the piece that absorbs the bursty, many-
+// client traffic of §2/§3.1 and turns it into the smooth, batched
+// stream the write drives want. It provides
+//
+//   - bounded per-class request queues (writes vs. reads) drained by
+//     a configurable worker pool, so a flood of Puts cannot starve
+//     Gets and vice versa;
+//   - admission control: requests are rejected with ErrOverloaded
+//     (HTTP 429) when a queue is full or the staging tier is above
+//     its high watermark, instead of queueing without bound;
+//   - a flush scheduler that triggers platter flushes on staged-bytes
+//     and staged-age watermarks, replacing manual Flush calls;
+//   - graceful shutdown that stops admission, drains in-flight
+//     requests, and flushes staging.
+//
+// The same Gateway serves an HTTP/JSON API (http.go) and an
+// in-process Go API (this file), so tests and the load generator can
+// drive either transport.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silica/internal/service"
+	"silica/internal/staging"
+	"silica/internal/stats"
+)
+
+// ErrOverloaded is the admission-control rejection: a request queue is
+// full or staging is above its high watermark. Clients should back off
+// and retry; the HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("gateway: overloaded, retry later")
+
+// ErrClosed is returned for requests arriving after Close began.
+var ErrClosed = errors.New("gateway: shutting down")
+
+// Config sizes the gateway.
+type Config struct {
+	Service service.Config
+
+	// Worker-pool width per request class.
+	WriteWorkers int
+	ReadWorkers  int
+
+	// Queue depths per request class; a full queue rejects with
+	// ErrOverloaded rather than blocking the client.
+	WriteQueue int
+	ReadQueue  int
+
+	// StagingHighWatermark is the fraction of staging capacity above
+	// which new writes are rejected (0 disables the check; only
+	// meaningful when Service.StagingCapacity > 0). Rejecting at a
+	// watermark below 1.0 leaves headroom for requests already in the
+	// queue.
+	StagingHighWatermark float64
+
+	// FlushBytes triggers a scheduled flush once staged bytes reach
+	// this size watermark. 0 defaults to one platter's user bytes:
+	// flush as soon as a full platter can be packed.
+	FlushBytes int64
+
+	// FlushAge triggers a flush once the oldest staged file has waited
+	// this long, bounding time-to-durable under light load. 0 disables
+	// the age watermark.
+	FlushAge time.Duration
+
+	// FlushInterval is the scheduler's evaluation period.
+	FlushInterval time.Duration
+}
+
+// DefaultConfig returns a small but genuinely concurrent gateway over
+// the tiny-geometry service.
+func DefaultConfig() Config {
+	return Config{
+		Service:              service.DefaultConfig(),
+		WriteWorkers:         4,
+		ReadWorkers:          4,
+		WriteQueue:           64,
+		ReadQueue:            64,
+		StagingHighWatermark: 0.95,
+		FlushBytes:           0, // one platter
+		FlushAge:             2 * time.Second,
+		FlushInterval:        50 * time.Millisecond,
+	}
+}
+
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opDelete
+)
+
+func (k opKind) class() string {
+	switch k {
+	case opGet:
+		return "get"
+	case opDelete:
+		return "delete"
+	default:
+		return "put"
+	}
+}
+
+type request struct {
+	op            opKind
+	account, name string
+	data          []byte
+	done          chan response
+}
+
+type response struct {
+	version int
+	data    []byte
+	err     error
+}
+
+// Counters is a snapshot of gateway traffic accounting.
+type Counters struct {
+	Accepted  int64 // requests admitted to a queue
+	Rejected  int64 // admission-control rejections (ErrOverloaded)
+	Completed int64 // requests fully served (including with errors)
+	Flushes   int64 // flush passes run (scheduled or explicit)
+}
+
+// Gateway is the concurrent front end. Create with New, stop with
+// Close.
+type Gateway struct {
+	cfg   Config
+	svc   *service.Service
+	start time.Time
+
+	writeq chan *request
+	readq  chan *request
+
+	// admitMu guards the closed transition: Close sets closed and
+	// then closes the queues; submitters hold the read side so they
+	// never send on a closed channel.
+	admitMu sync.RWMutex
+	closed  bool
+
+	flushKick chan struct{}
+	stop      chan struct{}
+	workerWG  sync.WaitGroup
+	schedWG   sync.WaitGroup
+
+	lat       *stats.Recorder
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	flushes   atomic.Int64
+}
+
+// New builds and starts a gateway: workers and the flush scheduler
+// run immediately.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.WriteWorkers < 1 || cfg.ReadWorkers < 1 {
+		return nil, fmt.Errorf("gateway: need at least one worker per class (%d write, %d read)",
+			cfg.WriteWorkers, cfg.ReadWorkers)
+	}
+	if cfg.WriteQueue < 1 || cfg.ReadQueue < 1 {
+		return nil, fmt.Errorf("gateway: need positive queue depths (%d write, %d read)",
+			cfg.WriteQueue, cfg.ReadQueue)
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultConfig().FlushInterval
+	}
+	start := time.Now()
+	if cfg.Service.ArrivalClock == nil {
+		cfg.Service.ArrivalClock = func() float64 { return time.Since(start).Seconds() }
+	}
+	svc, err := service.New(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = cfg.Service.Geom.PlatterUserBytes()
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		svc:       svc,
+		start:     start,
+		writeq:    make(chan *request, cfg.WriteQueue),
+		readq:     make(chan *request, cfg.ReadQueue),
+		flushKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		lat:       stats.NewRecorder(),
+	}
+	for i := 0; i < cfg.WriteWorkers; i++ {
+		g.workerWG.Add(1)
+		go g.worker(g.writeq)
+	}
+	for i := 0; i < cfg.ReadWorkers; i++ {
+		g.workerWG.Add(1)
+		go g.worker(g.readq)
+	}
+	g.schedWG.Add(1)
+	go g.flushLoop()
+	return g, nil
+}
+
+// Service exposes the underlying storage service (stats, failure
+// injection in tests).
+func (g *Gateway) Service() *service.Service { return g.svc }
+
+// submit runs one request through admission control and its class
+// queue, blocking the caller until a worker finishes it — the
+// closed-loop behaviour archival front ends present to clients.
+func (g *Gateway) submit(req *request) response {
+	q := g.readq
+	if req.op != opGet {
+		q = g.writeq
+		if err := g.admitWrite(); err != nil {
+			g.rejected.Add(1)
+			return response{err: err}
+		}
+	}
+	req.done = make(chan response, 1)
+
+	g.admitMu.RLock()
+	if g.closed {
+		g.admitMu.RUnlock()
+		return response{err: ErrClosed}
+	}
+	select {
+	case q <- req:
+		g.admitMu.RUnlock()
+		g.accepted.Add(1)
+	default:
+		g.admitMu.RUnlock()
+		g.rejected.Add(1)
+		if req.op != opGet {
+			g.kickFlush() // drain staging so capacity comes back
+		}
+		return response{err: fmt.Errorf("%w: %s queue full", ErrOverloaded, req.op.class())}
+	}
+	return <-req.done
+}
+
+// admitWrite applies the staging high watermark before a write enters
+// the queue: past it, more queued Puts would only fail at the tier, so
+// reject early and kick the flusher.
+func (g *Gateway) admitWrite() error {
+	hw := g.cfg.StagingHighWatermark
+	if hw <= 0 {
+		return nil
+	}
+	u := g.svc.StagingUsage()
+	if u.Capacity > 0 && u.Fraction() >= hw {
+		g.kickFlush()
+		return fmt.Errorf("%w: staging at %.0f%% of capacity", ErrOverloaded, 100*u.Fraction())
+	}
+	return nil
+}
+
+// worker drains one class queue against the (concurrency-safe)
+// service.
+func (g *Gateway) worker(q chan *request) {
+	defer g.workerWG.Done()
+	for req := range q {
+		t0 := time.Now()
+		var resp response
+		switch req.op {
+		case opPut:
+			resp.version, resp.err = g.svc.Put(req.account, req.name, req.data)
+			if errors.Is(resp.err, staging.ErrCapacity) {
+				// Lost the capacity race after admission; surface the
+				// same backpressure signal and drain.
+				resp.err = fmt.Errorf("%w: %v", ErrOverloaded, resp.err)
+				g.kickFlush()
+			}
+		case opGet:
+			resp.data, resp.err = g.svc.Get(req.account, req.name)
+		case opDelete:
+			resp.err = g.svc.Delete(req.account, req.name)
+		}
+		g.lat.Observe(req.op.class(), time.Since(t0).Seconds())
+		g.completed.Add(1)
+		req.done <- resp
+	}
+}
+
+// Put stores data under account/name. It blocks until staged (or
+// rejected) and returns the version written.
+func (g *Gateway) Put(account, name string, data []byte) (int, error) {
+	resp := g.submit(&request{op: opPut, account: account, name: name, data: data})
+	return resp.version, resp.err
+}
+
+// Get reads the latest version of account/name.
+func (g *Gateway) Get(account, name string) ([]byte, error) {
+	resp := g.submit(&request{op: opGet, account: account, name: name})
+	return resp.data, resp.err
+}
+
+// Delete removes account/name (crypto-shredding its keys).
+func (g *Gateway) Delete(account, name string) error {
+	return g.submit(&request{op: opDelete, account: account, name: name}).err
+}
+
+// Flush forces a full drain of the staging tier, bypassing the
+// watermark scheduler (used by tests and the admin API).
+func (g *Gateway) Flush() error {
+	t0 := time.Now()
+	err := g.svc.Flush()
+	g.lat.Observe("flush", time.Since(t0).Seconds())
+	g.flushes.Add(1)
+	return err
+}
+
+// Counters returns the traffic counters.
+func (g *Gateway) Counters() Counters {
+	return Counters{
+		Accepted:  g.accepted.Load(),
+		Rejected:  g.rejected.Load(),
+		Completed: g.completed.Load(),
+		Flushes:   g.flushes.Load(),
+	}
+}
+
+// Latencies exposes the per-class latency recorder.
+func (g *Gateway) Latencies() *stats.Recorder { return g.lat }
+
+// Close stops admission, drains both queues through the workers,
+// stops the flush scheduler, and flushes staging so every admitted
+// write is durable on return.
+func (g *Gateway) Close() error {
+	g.admitMu.Lock()
+	if g.closed {
+		g.admitMu.Unlock()
+		return ErrClosed
+	}
+	g.closed = true
+	close(g.writeq)
+	close(g.readq)
+	g.admitMu.Unlock()
+
+	g.workerWG.Wait() // queues drained, in-flight requests answered
+	close(g.stop)
+	g.schedWG.Wait()
+	return g.Flush() // final drain: staged data becomes durable
+}

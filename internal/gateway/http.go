@@ -1,0 +1,153 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"silica/internal/metadata"
+	"silica/internal/service"
+	"silica/internal/staging"
+	"silica/internal/stats"
+)
+
+// The HTTP/JSON API:
+//
+//	PUT    /v1/objects/{account}/{name...}  body = object bytes  → {"version": n}
+//	GET    /v1/objects/{account}/{name...}  → object bytes (octet-stream)
+//	DELETE /v1/objects/{account}/{name...}  → {"deleted": true}
+//	POST   /v1/flush                        → {"flushed": true}   (drains staging)
+//	GET    /v1/stats                        → StatsSnapshot JSON
+//	GET    /v1/healthz                      → "ok"
+//
+// Overload (queue full, staging watermark, staging capacity) returns
+// 429 with a Retry-After header; unknown objects 404; unrecoverable
+// data 503.
+
+// MaxObjectBytes caps a single PUT body; larger files belong to a
+// multipart path this reproduction does not model.
+const MaxObjectBytes = 64 << 20
+
+// Handler returns the gateway's HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/objects/{account}/{name...}", g.handlePut)
+	mux.HandleFunc("GET /v1/objects/{account}/{name...}", g.handleGet)
+	mux.HandleFunc("DELETE /v1/objects/{account}/{name...}", g.handleDelete)
+	mux.HandleFunc("POST /v1/flush", g.handleFlush)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func objectKey(r *http.Request) (account, name string, ok bool) {
+	account, name = r.PathValue("account"), r.PathValue("name")
+	return account, name, account != "" && name != ""
+}
+
+// writeErr maps service-layer errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, staging.ErrCapacity):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, metadata.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, service.ErrUnavailable):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
+	account, name, ok := objectKey(r)
+	if !ok {
+		http.Error(w, "need /v1/objects/{account}/{name}", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxObjectBytes))
+	if err != nil {
+		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	version, err := g.Put(account, name, data)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]int{"version": version})
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	account, name, ok := objectKey(r)
+	if !ok {
+		http.Error(w, "need /v1/objects/{account}/{name}", http.StatusBadRequest)
+		return
+	}
+	data, err := g.Get(account, name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
+	account, name, ok := objectKey(r)
+	if !ok {
+		http.Error(w, "need /v1/objects/{account}/{name}", http.StatusBadRequest)
+		return
+	}
+	if err := g.Delete(account, name); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"deleted": true})
+}
+
+func (g *Gateway) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := g.Flush(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"flushed": true})
+}
+
+// StatsSnapshot is the /v1/stats payload.
+type StatsSnapshot struct {
+	Uptime    float64                  `json:"uptime_seconds"`
+	Counters  Counters                 `json:"counters"`
+	Latencies map[string]stats.Summary `json:"latencies"`
+	Staging   staging.Usage            `json:"staging"`
+	Service   service.Stats            `json:"service"`
+}
+
+// Snapshot assembles the current stats.
+func (g *Gateway) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Uptime:    time.Since(g.start).Seconds(),
+		Counters:  g.Counters(),
+		Latencies: g.lat.Summaries(),
+		Staging:   g.svc.StagingUsage(),
+		Service:   g.svc.Stats(),
+	}
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, g.Snapshot())
+}

@@ -1,0 +1,64 @@
+package gateway
+
+import "time"
+
+// flushLoop is the batched flush scheduler: instead of clients calling
+// Flush, staged files accumulate until a watermark trips —
+//
+//   - size: staged bytes reach Config.FlushBytes (a platter's worth by
+//     default), so the write drive always gets full batches; or
+//   - age: the oldest staged file has waited Config.FlushAge, bounding
+//     time-to-durable when ingress is light.
+//
+// Admission control also kicks the loop directly when staging
+// approaches capacity, so overload drains at full speed rather than
+// waiting out the evaluation interval.
+func (g *Gateway) flushLoop() {
+	defer g.schedWG.Done()
+	ticker := time.NewTicker(g.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		case <-g.flushKick:
+		}
+		if g.shouldFlush() {
+			// Errors here mean the channel failed every rewrite; the
+			// data stays staged and the next trip retries.
+			_ = g.Flush()
+		}
+	}
+}
+
+// shouldFlush evaluates the watermarks against the staging tier.
+func (g *Gateway) shouldFlush() bool {
+	u := g.svc.StagingUsage()
+	if u.Pending == 0 {
+		return false
+	}
+	if u.Used >= g.cfg.FlushBytes {
+		return true
+	}
+	if hw := g.cfg.StagingHighWatermark; hw > 0 && u.Capacity > 0 && u.Fraction() >= hw/2 {
+		// Staging is filling faster than the size watermark alone
+		// would drain it; flush early to keep admission headroom.
+		return true
+	}
+	if g.cfg.FlushAge > 0 {
+		age := g.cfg.Service.ArrivalClock() - u.OldestArrival
+		if age >= g.cfg.FlushAge.Seconds() {
+			return true
+		}
+	}
+	return false
+}
+
+// kickFlush nudges the scheduler without blocking.
+func (g *Gateway) kickFlush() {
+	select {
+	case g.flushKick <- struct{}{}:
+	default:
+	}
+}

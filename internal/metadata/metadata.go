@@ -19,6 +19,12 @@ import (
 // ErrNotFound is returned for unknown or deleted files.
 var ErrNotFound = errors.New("metadata: file not found")
 
+// ErrDeleted is returned when an operation targets a version that was
+// deleted in the meantime — e.g. SetExtents racing a concurrent
+// Delete. The write pipeline treats it as "drop the staged copy": the
+// bytes on glass are crypto-shredded ciphertext.
+var ErrDeleted = errors.New("metadata: version deleted")
+
 // FileKey names a file within a customer account.
 type FileKey struct {
 	Account string
@@ -122,7 +128,7 @@ func (s *Store) SetExtents(key FileKey, version int, extents []Extent) error {
 		return err
 	}
 	if v.State == Deleted {
-		return fmt.Errorf("metadata: %v v%d is deleted", key, version)
+		return fmt.Errorf("%w: %v v%d", ErrDeleted, key, version)
 	}
 	v.Extents = append([]Extent(nil), extents...)
 	v.State = Durable

@@ -2,59 +2,79 @@ package service
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"silica/internal/keystore"
 	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/sim"
 )
+
+// readRNG derives an independent noise stream for one read operation,
+// so concurrent Gets never contend on (or corrupt) shared generator
+// state.
+func (s *Service) readRNG() *sim.RNG {
+	return s.rootRNG.Fork(fmt.Sprintf("read-%d", s.opSeq.Add(1)))
+}
 
 // Get reads back the latest version of a file through the full §5
 // recovery hierarchy and decrypts it. Staged (not yet flushed) files
 // are served from the staging tier, as the online tier does in
-// production.
+// production. Get holds no service-wide lock across the decode, so
+// reads of flushed extents proceed in parallel with staging writes
+// and with each other.
 func (s *Service) Get(account, name string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	key := metadata.FileKey{Account: account, Name: name}
-	v, err := s.meta.Get(key)
-	if err != nil {
-		return nil, err
-	}
-	var ct []byte
-	switch v.State {
-	case metadata.Staged:
-		f, ok := s.tier.Find(key, v.Version)
-		if !ok {
-			return nil, fmt.Errorf("service: %v v%d staged but not in tier", key, v.Version)
-		}
-		ct = append([]byte(nil), f.Data...)
-		s.stats.StagedReads++
-	case metadata.Durable:
-		ct, err = s.readExtents(v)
+	rng := s.readRNG()
+	for attempt := 0; ; attempt++ {
+		v, err := s.meta.Get(key)
 		if err != nil {
 			return nil, err
 		}
-		s.stats.DurableReads++
-	default:
-		return nil, fmt.Errorf("service: %v in unexpected state %v", key, v.State)
+		var ct []byte
+		switch v.State {
+		case metadata.Staged:
+			f, ok := s.tier.Find(key, v.Version)
+			if !ok {
+				// Two benign races land here: a concurrent Flush just
+				// promoted the version to durable, or a concurrent Put
+				// has registered the version and is about to admit its
+				// bytes. Re-reading metadata resolves both.
+				if attempt < 64 {
+					runtime.Gosched()
+					continue
+				}
+				return nil, fmt.Errorf("service: %v v%d staged but not in tier", key, v.Version)
+			}
+			ct = append([]byte(nil), f.Data...)
+			s.addStats(func(st *Stats) { st.StagedReads++ })
+		case metadata.Durable:
+			ct, err = s.readExtents(v, rng)
+			if err != nil {
+				return nil, err
+			}
+			s.addStats(func(st *Stats) { st.DurableReads++ })
+		default:
+			return nil, fmt.Errorf("service: %v in unexpected state %v", key, v.State)
+		}
+		ctLen := v.Size + keystore.Overhead
+		if int64(len(ct)) < ctLen {
+			return nil, fmt.Errorf("service: %v short read: %d < %d", key, len(ct), ctLen)
+		}
+		return s.keys.Decrypt(v.KeyID, ct[:ctLen])
 	}
-	ctLen := v.Size + keystore.Overhead
-	if int64(len(ct)) < ctLen {
-		return nil, fmt.Errorf("service: %v short read: %d < %d", key, len(ct), ctLen)
-	}
-	return s.keys.Decrypt(v.KeyID, ct[:ctLen])
 }
 
 // readExtents assembles a version's ciphertext from its shards in
 // shard order.
-func (s *Service) readExtents(v *metadata.Version) ([]byte, error) {
+func (s *Service) readExtents(v *metadata.Version, rng *sim.RNG) ([]byte, error) {
 	extents := append([]metadata.Extent(nil), v.Extents...)
 	sort.Slice(extents, func(i, j int) bool { return extents[i].Shard < extents[j].Shard })
 	var out []byte
 	for _, e := range extents {
 		for k := 0; k < e.SectorCount; k++ {
-			payload, err := s.readInfoSector(e.Platter, e.FirstSector+k)
+			payload, err := s.readInfoSector(e.Platter, e.FirstSector+k, rng)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d sector %d: %w", e.Shard, e.FirstSector+k, err)
 			}
@@ -70,8 +90,8 @@ func (s *Service) readExtents(v *metadata.Version) ([]byte, error) {
 //  2. within-track network coding over the sector's track;
 //  3. large-group network coding across the platter's tracks;
 //  4. cross-platter network coding over the platter-set.
-func (s *Service) readInfoSector(id media.PlatterID, infoSector int) ([]byte, error) {
-	pi, ok := s.platters[id]
+func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RNG) ([]byte, error) {
+	pi, ok := s.platterByID(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: platter %d unknown", ErrUnavailable, id)
 	}
@@ -79,40 +99,41 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int) ([]byte, er
 	iPerTrack := geom.InfoSectorsPerTrack
 	infoTrack := infoSector / iPerTrack
 	sPos := infoSector % iPerTrack
-	if pi.failed {
+	if pi.failed.Load() {
 		// Level 4: the platter is unavailable; rebuild from its set.
-		payload, err := s.recoverFromSet(pi, infoSector)
+		payload, err := s.recoverFromSet(pi, infoSector, rng)
 		if err != nil {
 			return nil, err
 		}
-		s.stats.PlatterRecovers++
+		s.addStats(func(st *Stats) { st.PlatterRecovers++ })
 		return payload, nil
 	}
 	phys := geom.InfoTrackPhysical(infoTrack)
-	if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+	if payload, ok := s.decodeSector(pi, phys, sPos, rng); ok {
 		return payload, nil
 	}
 	// Level 2: read the whole track, repair via within-track NC.
-	if payload, ok := s.repairWithinTrack(pi, phys, sPos); ok {
-		s.stats.SectorRepairs++
+	if payload, ok := s.repairWithinTrack(pi, phys, sPos, rng); ok {
+		s.addStats(func(st *Stats) { st.SectorRepairs++ })
 		return payload, nil
 	}
 	// Level 3: rebuild the whole track from its large group.
-	if payload, ok := s.rebuildTrackSector(pi, infoTrack, sPos); ok {
-		s.stats.TrackRebuilds++
+	if payload, ok := s.rebuildTrackSector(pi, infoTrack, sPos, rng); ok {
+		s.addStats(func(st *Stats) { st.TrackRebuilds++ })
 		return payload, nil
 	}
 	return nil, fmt.Errorf("%w: platter %d sector %d beyond all coding levels", ErrUnavailable, id, infoSector)
 }
 
 // decodeSector attempts a direct LDPC decode of one physical sector,
-// descrambling the payload (see scramble in writepath.go).
-func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int) ([]byte, bool) {
+// descrambling the payload (see scramble in writepath.go). Published
+// platter media is immutable, so no lock is held across the decode.
+func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
 	symbols, ok := pi.platter.ReadSector(media.SectorID{Track: physTrack, Sector: sPos})
 	if !ok {
 		return nil, false
 	}
-	res := s.pipe.ReadSector(symbols, s.rng)
+	res := s.pipe.ReadSector(symbols, rng)
 	if !res.OK {
 		return nil, false
 	}
@@ -121,11 +142,11 @@ func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int) ([]byte, bo
 
 // repairWithinTrack reads every sector of a track and reconstructs the
 // requested position via the within-track group.
-func (s *Service) repairWithinTrack(pi *platterInfo, physTrack, want int) ([]byte, bool) {
+func (s *Service) repairWithinTrack(pi *platterInfo, physTrack, want int, rng *sim.RNG) ([]byte, bool) {
 	geom := s.cfg.Geom
 	avail := make(map[int][]byte)
 	for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
-		if payload, ok := s.decodeSector(pi, physTrack, sPos); ok {
+		if payload, ok := s.decodeSector(pi, physTrack, sPos, rng); ok {
 			avail[sPos] = payload
 		}
 	}
@@ -140,7 +161,7 @@ func (s *Service) repairWithinTrack(pi *platterInfo, physTrack, want int) ([]byt
 // infoTrack from the platter's large group: the matching sector
 // position of the other member tracks plus the group's redundancy
 // tracks. Member tracks beyond the written range are zero.
-func (s *Service) rebuildTrackSector(pi *platterInfo, infoTrack, sPos int) ([]byte, bool) {
+func (s *Service) rebuildTrackSector(pi *platterInfo, infoTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
 	geom := s.cfg.Geom
 	lgi := geom.LargeGroupInfoTracks
 	g := infoTrack / lgi
@@ -158,15 +179,15 @@ func (s *Service) rebuildTrackSector(pi *platterInfo, infoTrack, sPos int) ([]by
 			continue
 		}
 		phys := geom.InfoTrackPhysical(it)
-		if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+		if payload, ok := s.decodeSector(pi, phys, sPos, rng); ok {
 			avail[m] = payload
-		} else if payload, ok := s.repairWithinTrack(pi, phys, sPos); ok {
+		} else if payload, ok := s.repairWithinTrack(pi, phys, sPos, rng); ok {
 			avail[m] = payload
 		}
 	}
 	for j := 0; j < geom.LargeGroupRedTracks; j++ {
 		phys := geom.LargeGroupRedTrack(g, j)
-		if payload, ok := s.decodeSector(pi, phys, sPos); ok {
+		if payload, ok := s.decodeSector(pi, phys, sPos, rng); ok {
 			avail[lgi+j] = payload
 		}
 	}
@@ -195,27 +216,39 @@ func (s *Service) RecyclePlatter(id media.PlatterID) error {
 		return err
 	}
 	delete(s.platters, id)
-	s.stats.PlattersRecycled++
+	s.addStats(func(st *Stats) { st.PlattersRecycled++ })
 	return nil
 }
 
 // recoverFromSet rebuilds one information sector of an unavailable
 // platter from its platter-set: the matching sector of every available
 // member (§5 cross-platter NC; §7.6's 16x read amplification).
-func (s *Service) recoverFromSet(pi *platterInfo, infoSector int) ([]byte, error) {
-	if pi.set < 0 || pi.set >= len(s.sets) {
+func (s *Service) recoverFromSet(pi *platterInfo, infoSector int, rng *sim.RNG) ([]byte, error) {
+	// Snapshot the set membership under the read lock; the member
+	// platters themselves are immutable once published.
+	s.mu.RLock()
+	setIdx, setPos := pi.set, pi.setPos
+	var members []media.PlatterID
+	var infos []*platterInfo
+	if setIdx >= 0 && setIdx < len(s.sets) {
+		members = s.sets[setIdx]
+		infos = make([]*platterInfo, len(members))
+		for i, mid := range members {
+			infos[i] = s.platters[mid]
+		}
+	}
+	s.mu.RUnlock()
+	if members == nil {
 		return nil, fmt.Errorf("%w: platter %d has no completed platter-set", ErrUnavailable, pi.platter.ID)
 	}
-	members := s.sets[pi.set]
 	geom := s.cfg.Geom
 	zero := make([]byte, geom.SectorPayloadBytes)
 	avail := make(map[int][]byte)
-	for pos, mid := range members {
-		if pos == pi.setPos {
+	for pos, mpi := range infos {
+		if pos == setPos {
 			continue
 		}
-		mpi := s.platters[mid]
-		if mpi == nil || mpi.failed {
+		if mpi == nil || mpi.failed.Load() {
 			continue
 		}
 		usedTracks := (mpi.usedInfoSectors + geom.InfoSectorsPerTrack - 1) / geom.InfoSectorsPerTrack
@@ -226,15 +259,15 @@ func (s *Service) recoverFromSet(pi *platterInfo, infoSector int) ([]byte, error
 			continue
 		}
 		phys := geom.InfoTrackPhysical(infoTrack)
-		if payload, ok := s.decodeSector(mpi, phys, sPos); ok {
+		if payload, ok := s.decodeSector(mpi, phys, sPos, rng); ok {
 			avail[pos] = payload
-		} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos); ok {
+		} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, rng); ok {
 			avail[pos] = payload
 		}
 	}
-	rec, err := s.setGroup.Reconstruct(avail, []int{pi.setPos})
+	rec, err := s.setGroup.Reconstruct(avail, []int{setPos})
 	if err != nil {
 		return nil, fmt.Errorf("%w: set recovery failed: %v", ErrUnavailable, err)
 	}
-	return rec[pi.setPos], nil
+	return rec[setPos], nil
 }

@@ -10,12 +10,22 @@
 // within-track NC for failed sectors, large-group NC for destroyed
 // tracks, and cross-platter NC when a platter is unavailable. Delete
 // removes pointers and crypto-shreds the key (§3).
+//
+// Service is safe for concurrent use. Locking is fine-grained so the
+// serving layer (internal/gateway) can drive it with worker pools:
+// the staging tier, metadata store, and keystore synchronize
+// themselves; a read-write mutex guards only the platter index and
+// set registry (platters are immutable once published there); flushes
+// are serialized among themselves but overlap freely with Put/Get/
+// Delete. Reads of flushed extents therefore never wait behind
+// staging writes or the long encode/verify work of a flush.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"silica/internal/keystore"
 	"silica/internal/ldpc"
@@ -46,6 +56,11 @@ type Config struct {
 	// MaxShardSectors caps a file's footprint per platter (§6 large
 	// file sharding). 0 = one full platter.
 	MaxShardSectors int
+	// ArrivalClock, when set, timestamps staged files (seconds, any
+	// monotonic origin). The staging batcher orders by arrival and the
+	// gateway's flush scheduler ages the oldest staged file against
+	// its watermark. Nil stamps everything 0.
+	ArrivalClock func() float64
 }
 
 // DefaultConfig returns an in-memory full-codec service.
@@ -82,25 +97,26 @@ type Stats struct {
 	PlattersRecycled   int
 }
 
-// platterState is the in-memory media plus caches.
+// platterInfo is the in-memory media plus caches. Everything except
+// failed and the flush-owned payload cache is immutable once the
+// platter is published in Service.platters.
 type platterInfo struct {
 	platter *media.Platter
 	// payloads caches info-sector payloads (post-encryption) until the
 	// platter's set completes, for cross-platter redundancy encoding.
+	// Owned by the flush pipeline (flushMu); readers never touch it.
 	payloads [][]byte
 	// usedInfoSectors counts payload slots filled.
 	usedInfoSectors int
-	failed          bool // simulated unavailability
-	set             int  // platter-set index, -1 until assigned
-	setPos          int  // unit index within the set (info then red)
+	failed          atomic.Bool // simulated unavailability
+	set             int         // platter-set index, -1 until assigned (guarded by mu)
+	setPos          int         // unit index within the set (info then red)
 	isRedundancy    bool
 }
 
 // Service is the storage front end.
 type Service struct {
-	mu   sync.Mutex
 	cfg  Config
-	rng  *sim.RNG
 	pipe *voxel.SectorPipeline
 
 	keys *keystore.Store
@@ -111,14 +127,25 @@ type Service struct {
 	largeGroup  *nc.Group
 	setGroup    *nc.Group
 
+	// mu guards the platter index and the completed-set registry.
+	// Readers hold it only long enough to resolve pointers; published
+	// platter contents are immutable, so decoding proceeds unlocked.
+	mu          sync.RWMutex
 	platters    map[media.PlatterID]*platterInfo
 	nextPlatter media.PlatterID
+	sets        [][]media.PlatterID // per set: info members then red members
 
-	// Platter-set assembly: info platters awaiting completion.
+	// flushMu serializes flushes; pendingSet is flush-only state.
+	flushMu    sync.Mutex
 	pendingSet []media.PlatterID
-	sets       [][]media.PlatterID // per set: info members then red members
 
-	stats Stats
+	statsMu sync.Mutex
+	stats   Stats
+
+	// rootRNG is pure seed material: every operation forks its own
+	// stream from it, so concurrent reads never share generator state.
+	rootRNG *sim.RNG
+	opSeq   atomic.Uint64
 }
 
 // New builds a service.
@@ -151,7 +178,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		cfg:         cfg,
-		rng:         sim.NewRNG(cfg.Seed).Fork("service"),
+		rootRNG:     sim.NewRNG(cfg.Seed).Fork("service"),
 		pipe:        voxel.NewSectorPipeline(codec, cfg.Channel),
 		keys:        keystore.New(),
 		meta:        metadata.NewStore(),
@@ -165,11 +192,18 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// addStats applies a mutation to the stats under their lock.
+func (s *Service) addStats(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
 // Stats returns a snapshot.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
 	st := s.stats
+	s.statsMu.Unlock()
 	st.Files = s.meta.Files()
 	return st
 }
@@ -178,58 +212,55 @@ func (s *Service) Stats() Stats {
 func (s *Service) Metadata() *metadata.Store { return s.meta }
 
 // StagedBytes reports bytes waiting in the staging tier.
-func (s *Service) StagedBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tier.Used()
-}
+func (s *Service) StagedBytes() int64 { return s.tier.Used() }
 
-// keyID names the keystore entry of one file version.
-func keyID(key metadata.FileKey, version int) string {
-	return fmt.Sprintf("%s#%d", key, version)
+// StagingUsage reports a consistent occupancy snapshot of the staging
+// tier: the gateway's admission-control and flush-watermark input.
+func (s *Service) StagingUsage() staging.Usage { return s.tier.Usage() }
+
+// arrival samples the configured arrival clock.
+func (s *Service) arrival() float64 {
+	if s.cfg.ArrivalClock != nil {
+		return s.cfg.ArrivalClock()
+	}
+	return 0
 }
 
 // Put encrypts data under a fresh per-version key and stages it. The
-// file becomes durable at the next Flush.
+// file becomes durable at the next Flush. When staging capacity is
+// exhausted it fails with staging.ErrCapacity before registering
+// anything, so a rejected Put leaves no metadata or key behind — the
+// overload path the gateway maps to HTTP 429.
 func (s *Service) Put(account, name string, data []byte) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	key := metadata.FileKey{Account: account, Name: name}
-	v := s.meta.Put(key, int64(len(data)), "", 0)
-	kid := keyID(key, v.Version)
+	ctSize := int64(len(data)) + keystore.Overhead
+	if err := s.tier.Reserve(ctSize); err != nil {
+		return 0, err
+	}
+	// Key ids are opaque and unique per Put; the version cannot be
+	// named yet because metadata registration comes last.
+	kid := fmt.Sprintf("%s#k%d", key, s.opSeq.Add(1))
 	if err := s.keys.CreateKey(kid); err != nil {
+		s.tier.CancelReservation(ctSize)
 		return 0, err
 	}
 	ct, err := s.keys.Encrypt(kid, data)
 	if err != nil {
+		s.tier.CancelReservation(ctSize)
+		_ = s.keys.Shred(kid)
 		return 0, err
 	}
-	f := &staging.File{Key: key, Version: v.Version, Size: int64(len(ct)), Data: ct}
-	if err := s.tier.Admit(f); err != nil {
-		return 0, err
-	}
-	// Record the key id on the version (Put above created it blank).
-	if err := s.setVersionKeyID(key, v.Version, kid); err != nil {
-		return 0, err
-	}
+	arrival := s.arrival()
+	v := s.meta.Put(key, int64(len(data)), kid, arrival)
+	s.tier.AdmitReserved(&staging.File{
+		Key: key, Version: v.Version, Size: int64(len(ct)), Data: ct, Arrival: arrival,
+	})
 	return v.Version, nil
-}
-
-// setVersionKeyID re-puts the key id; metadata.Put does not take it to
-// keep its API minimal.
-func (s *Service) setVersionKeyID(key metadata.FileKey, version int, kid string) error {
-	// The metadata store copies on Get; mutate through a fresh Put is
-	// not possible, so extend via SetExtents-like path: store key id
-	// by convention in the version. Simplest correct route: the store
-	// supports this via PutKeyID.
-	return s.meta.SetKeyID(key, version, kid)
 }
 
 // Delete removes the file's pointers and shreds all its keys: the
 // glass copies become permanently unreadable ciphertext (§3).
 func (s *Service) Delete(account, name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	key := metadata.FileKey{Account: account, Name: name}
 	kids, err := s.meta.Delete(key)
 	if err != nil {
@@ -246,27 +277,31 @@ func (s *Service) Delete(account, name string) error {
 	return nil
 }
 
+// platterByID resolves a published platter.
+func (s *Service) platterByID(id media.PlatterID) (*platterInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pi, ok := s.platters[id]
+	return pi, ok
+}
+
 // FailPlatter marks a platter unavailable (a blast-zone or drive
 // failure stand-in) so reads exercise cross-platter recovery.
 func (s *Service) FailPlatter(id media.PlatterID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pi, ok := s.platters[id]
+	pi, ok := s.platterByID(id)
 	if !ok {
 		return fmt.Errorf("service: unknown platter %d", id)
 	}
-	pi.failed = true
+	pi.failed.Store(true)
 	return nil
 }
 
 // RestorePlatter clears a simulated failure.
 func (s *Service) RestorePlatter(id media.PlatterID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pi, ok := s.platters[id]
+	pi, ok := s.platterByID(id)
 	if !ok {
 		return fmt.Errorf("service: unknown platter %d", id)
 	}
-	pi.failed = false
+	pi.failed.Store(false)
 	return nil
 }

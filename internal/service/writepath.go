@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 
 	"silica/internal/layout"
@@ -16,14 +17,40 @@ import (
 // data. Files on a platter that fails verification stay staged and are
 // re-batched on the next Flush (§5: "it can simply be kept in staging
 // and rewritten onto a different platter later").
+//
+// Flushes are serialized among themselves but run concurrently with
+// Put/Get/Delete: the platter index lock is held only to allocate ids
+// and publish finished platters, never across encode or verify work.
 func (s *Service) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	noProgress := 0
 	for {
 		batch := s.tier.NextBatch(s.platterTargetBytes())
 		if len(batch) == 0 {
 			return nil
+		}
+		// Files deleted while staged are dropped here: their pointers
+		// are gone and their keys shredded, so writing them would only
+		// burn glass on unreadable ciphertext.
+		live := batch[:0]
+		var dropped []*staging.File
+		for _, f := range batch {
+			v, err := s.meta.GetVersion(f.Key, f.Version)
+			if err != nil || v.State == metadata.Deleted {
+				dropped = append(dropped, f)
+				continue
+			}
+			live = append(live, f)
+		}
+		if len(dropped) > 0 {
+			if err := s.tier.Release(dropped); err != nil {
+				return err
+			}
+		}
+		batch = live
+		if len(batch) == 0 {
+			continue // dropping released staging space: progress
 		}
 		plans := layout.AssignFiles(batch, s.cfg.Geom, s.effectiveShardCap())
 		verified := make(map[string]bool) // fileID -> fully durable
@@ -63,6 +90,12 @@ func (s *Service) Flush() error {
 			}
 			f := fileOf[fid]
 			if err := s.meta.SetExtents(f.Key, f.Version, extents[fid]); err != nil {
+				if errors.Is(err, metadata.ErrDeleted) {
+					// Deleted mid-write: the platter copy is shredded
+					// ciphertext; just free the staged bytes.
+					release = append(release, f)
+					continue
+				}
 				return err
 			}
 			release = append(release, f)
@@ -93,17 +126,33 @@ func (s *Service) platterTargetBytes() int64 {
 	return s.cfg.Geom.PlatterUserBytes()
 }
 
+// allocPlatterID reserves the next platter id.
+func (s *Service) allocPlatterID() media.PlatterID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextPlatter
+	s.nextPlatter++
+	return id
+}
+
+// writeRNG derives the deterministic noise stream of one platter's
+// write-and-verify pass.
+func (s *Service) writeRNG(id media.PlatterID) *sim.RNG {
+	return s.rootRNG.Fork(fmt.Sprintf("platter-%d", id))
+}
+
 // writePlatter pushes one plan through the write drive: modulate every
 // sector into glass, then verify the whole platter through the read
 // path (§3.1). Returns the platter id, or -1 when verification deemed
-// it unrecoverable (platter faulted, data stays staged).
+// it unrecoverable (platter faulted, data stays staged). The platter
+// is built privately and published to the index only after it
+// verifies, so concurrent reads never observe partial media.
 func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) (media.PlatterID, error) {
 	geom := s.cfg.Geom
-	id := s.nextPlatter
-	s.nextPlatter++
+	id := s.allocPlatterID()
+	rng := s.writeRNG(id)
 	p := media.NewPlatter(id, geom)
 	pi := &platterInfo{platter: p, set: -1}
-	s.platters[id] = pi
 	if err := p.Transition(media.Writing); err != nil {
 		return -1, err
 	}
@@ -152,7 +201,9 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 		if err := s.writeTrack(p, phys, info, red); err != nil {
 			return -1, err
 		}
-		s.stats.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+		s.addStats(func(st *Stats) {
+			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+		})
 	}
 	// Large-group redundancy tracks over every group touched. Unused
 	// member tracks are implicitly zero.
@@ -179,7 +230,9 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 				if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
 					return -1, err
 				}
-				s.stats.RedundancyBytes += int64(geom.SectorPayloadBytes)
+				s.addStats(func(st *Stats) {
+					st.RedundancyBytes += int64(geom.SectorPayloadBytes)
+				})
 			}
 		}
 	}
@@ -191,19 +244,23 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 	if err := p.Transition(media.Verifying); err != nil {
 		return -1, err
 	}
-	if !s.verifyPlatter(pi, usedTracks) {
-		s.stats.PlattersFaulted++
+	if !s.verifyPlatter(pi, usedTracks, rng) {
+		s.addStats(func(st *Stats) { st.PlattersFaulted++ })
 		if err := p.Transition(media.Faulted); err != nil {
 			return -1, err
 		}
-		delete(s.platters, id)
 		return -1, nil
 	}
 	if err := p.Transition(media.Stored); err != nil {
 		return -1, err
 	}
-	s.stats.PlattersWritten++
-	s.stats.BytesStored += int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes)
+	s.addStats(func(st *Stats) {
+		st.PlattersWritten++
+		st.BytesStored += int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes)
+	})
+	s.mu.Lock()
+	s.platters[id] = pi
+	s.mu.Unlock()
 	s.addToSet(id, pi)
 	return id, nil
 }
@@ -261,7 +318,7 @@ func (s *Service) writeSectorScrambled(p *media.Platter, id media.SectorID, payl
 	if err := p.WriteSector(id, symbols); err != nil {
 		return err
 	}
-	s.stats.SectorsWritten++
+	s.addStats(func(st *Stats) { st.SectorsWritten++ })
 	return nil
 }
 
@@ -286,7 +343,7 @@ func (s *Service) writeTrack(p *media.Platter, phys int, info, red [][]byte) err
 // failed sectors). It records the worst LDPC margin observed —
 // "together with the expected read error rate over time, we can
 // determine whether to record a file as durably stored" (§5).
-func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int) bool {
+func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) bool {
 	geom := s.cfg.Geom
 	for it := 0; it < usedTracks; it++ {
 		phys := geom.InfoTrackPhysical(it)
@@ -297,15 +354,17 @@ func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int) bool {
 				failures++
 				continue
 			}
-			res := s.pipe.ReadSector(symbols, s.rng)
+			res := s.pipe.ReadSector(symbols, rng)
 			if !res.OK {
 				failures++
-				s.stats.VerifyFailures++
+				s.addStats(func(st *Stats) { st.VerifyFailures++ })
 				continue
 			}
-			if res.Margin < s.stats.MinVerifyMargin {
-				s.stats.MinVerifyMargin = res.Margin
-			}
+			s.addStats(func(st *Stats) {
+				if res.Margin < st.MinVerifyMargin {
+					st.MinVerifyMargin = res.Margin
+				}
+			})
 		}
 		if failures > geom.RedundancySectorsPerTrack {
 			return false
@@ -316,24 +375,35 @@ func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int) bool {
 
 // addToSet accumulates verified information platters into the pending
 // platter-set; when SetInfo platters are ready, SetRed redundancy
-// platters are written and the set closes (§6).
+// platters are written and the set closes (§6). The redundancy encode
+// and write — the heavy part — runs outside the index lock; the set
+// only becomes visible to recovery reads once fully protected.
 func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
+	s.mu.Lock()
 	pi.set = len(s.sets)
 	pi.setPos = len(s.pendingSet)
 	s.pendingSet = append(s.pendingSet, id)
 	if len(s.pendingSet) < s.cfg.SetInfo {
+		s.mu.Unlock()
 		return
 	}
 	members := append([]media.PlatterID(nil), s.pendingSet...)
 	s.pendingSet = nil
+	infos := make([]*platterInfo, len(members))
+	for i, m := range members {
+		infos[i] = s.platters[m]
+	}
+	s.mu.Unlock()
 
 	// Redundancy platters: sector (track t, pos p) of redundancy
 	// platter r is the NC combination of members' (t, p) payloads.
+	// The payload caches are flush-owned, so reading them unlocked is
+	// safe: only this (flushMu-serialized) pipeline touches them.
 	geom := s.cfg.Geom
 	iPerTrack := geom.InfoSectorsPerTrack
 	maxSectors := 0
-	for _, m := range members {
-		if n := len(s.platters[m].payloads); n > maxSectors {
+	for _, mpi := range infos {
+		if n := len(mpi.payloads); n > maxSectors {
 			maxSectors = n
 		}
 	}
@@ -344,8 +414,8 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		redPayloads[r] = make([][]byte, maxSectors)
 	}
 	for sec := 0; sec < maxSectors; sec++ {
-		for mi, m := range members {
-			pls := s.platters[m].payloads
+		for mi, mpi := range infos {
+			pls := mpi.payloads
 			if sec < len(pls) {
 				units[mi] = pls[sec]
 			} else {
@@ -361,15 +431,15 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 			redPayloads[r][sec] = red[r]
 		}
 	}
+	setIdx := infos[0].set
 	for r := 0; r < s.cfg.SetRed; r++ {
-		rid := s.nextPlatter
-		s.nextPlatter++
+		rid := s.allocPlatterID()
+		rng := s.writeRNG(rid)
 		p := media.NewPlatter(rid, geom)
 		rpi := &platterInfo{
 			platter: p, payloads: redPayloads[r], usedInfoSectors: maxSectors,
-			set: len(s.sets), setPos: s.cfg.SetInfo + r, isRedundancy: true,
+			set: setIdx, setPos: s.cfg.SetInfo + r, isRedundancy: true,
 		}
-		s.platters[rid] = rpi
 		mustTransition(p, media.Writing)
 		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
 		for it := 0; it < usedTracks; it++ {
@@ -392,20 +462,27 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		}
 		mustTransition(p, media.Written)
 		mustTransition(p, media.Verifying)
-		s.verifyPlatter(rpi, usedTracks)
+		s.verifyPlatter(rpi, usedTracks, rng)
 		mustTransition(p, media.Stored)
+		s.mu.Lock()
+		s.platters[rid] = rpi
+		s.mu.Unlock()
 		members = append(members, rid)
-		s.stats.RedundancyPlatters++
-		s.stats.RedundancyBytes += int64(maxSectors) * int64(geom.SectorPayloadBytes)
+		s.addStats(func(st *Stats) {
+			st.RedundancyPlatters++
+			st.RedundancyBytes += int64(maxSectors) * int64(geom.SectorPayloadBytes)
+		})
 	}
+	s.mu.Lock()
 	s.sets = append(s.sets, members)
-	s.stats.SetsCompleted++
 	// Payload caches can be dropped once the set is protected; keep
 	// redundancy payloads too — they are small at tiny geometry and
 	// recovery decodes from glass anyway.
 	for _, m := range members {
 		s.platters[m].payloads = nil
 	}
+	s.mu.Unlock()
+	s.addStats(func(st *Stats) { st.SetsCompleted++ })
 }
 
 func mustTransition(p *media.Platter, st media.PlatterState) {

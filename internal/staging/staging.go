@@ -11,13 +11,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"silica/internal/metadata"
 	"silica/internal/stats"
 )
 
-// ErrFull is returned when the tier cannot admit a file.
-var ErrFull = errors.New("staging: tier full")
+// ErrCapacity is returned when the tier cannot admit or reserve space
+// for a file. The front end maps it to backpressure (HTTP 429).
+var ErrCapacity = errors.New("staging: capacity exhausted")
+
+// ErrFull is the historical name for ErrCapacity.
+var ErrFull = ErrCapacity
 
 // File is one staged object.
 type File struct {
@@ -32,10 +37,14 @@ type File struct {
 
 // Tier is the staging buffer. Files are admitted on write, grouped
 // into platter-sized batches for the write drive, and released after
-// verification.
+// verification. All methods are safe for concurrent use: the tier sits
+// between the concurrent front end and the flush pipeline.
 type Tier struct {
 	Capacity int64 // bytes; 0 means unbounded
+
+	mu       sync.Mutex
 	used     int64
+	reserved int64 // bytes promised to in-flight Puts, not yet admitted
 	files    []*File
 	released map[string]bool
 	peakUsed int64
@@ -46,29 +55,128 @@ func NewTier(capacity int64) *Tier {
 	return &Tier{Capacity: capacity, released: make(map[string]bool)}
 }
 
-// Used reports currently staged bytes.
-func (t *Tier) Used() int64 { return t.used }
+// Used reports currently staged bytes (excluding reservations).
+func (t *Tier) Used() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
 
 // PeakUsed reports the high-water mark, the provisioning figure §2's
 // smoothing argument is about.
-func (t *Tier) PeakUsed() int64 { return t.peakUsed }
+func (t *Tier) PeakUsed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peakUsed
+}
 
 // Pending reports the number of staged files.
-func (t *Tier) Pending() int { return len(t.files) }
+func (t *Tier) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.files)
+}
 
-// Admit stages a file. It fails with ErrFull when capacity would be
-// exceeded: the backpressure signal to the front end.
+// Usage is a consistent snapshot of tier occupancy, the input to the
+// gateway's admission control and flush watermarks.
+type Usage struct {
+	Used     int64 // staged bytes
+	Reserved int64 // bytes held by in-flight reservations
+	Capacity int64 // 0 = unbounded
+	Peak     int64 // high-water mark of Used+Reserved
+	Pending  int   // staged file count
+	// OldestArrival is the smallest Arrival among staged files; only
+	// meaningful when Pending > 0.
+	OldestArrival float64
+}
+
+// Fraction reports (Used+Reserved)/Capacity, or 0 when unbounded.
+func (u Usage) Fraction() float64 {
+	if u.Capacity <= 0 {
+		return 0
+	}
+	return float64(u.Used+u.Reserved) / float64(u.Capacity)
+}
+
+// Usage returns an occupancy snapshot.
+func (t *Tier) Usage() Usage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u := Usage{
+		Used:     t.used,
+		Reserved: t.reserved,
+		Capacity: t.Capacity,
+		Peak:     t.peakUsed,
+		Pending:  len(t.files),
+	}
+	for i, f := range t.files {
+		if i == 0 || f.Arrival < u.OldestArrival {
+			u.OldestArrival = f.Arrival
+		}
+	}
+	return u
+}
+
+// Reserve holds size bytes of capacity for an in-flight Put, before
+// the (possibly expensive) encryption work, so admission control can
+// reject early with ErrCapacity and never leaves half-registered
+// state behind. Pair with AdmitReserved or CancelReservation.
+func (t *Tier) Reserve(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("staging: negative reservation %d", size)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.Capacity > 0 && t.used+t.reserved+size > t.Capacity {
+		return fmt.Errorf("%w: %d used + %d reserved + %d > %d",
+			ErrCapacity, t.used, t.reserved, size, t.Capacity)
+	}
+	t.reserved += size
+	if t.used+t.reserved > t.peakUsed {
+		t.peakUsed = t.used + t.reserved
+	}
+	return nil
+}
+
+// CancelReservation releases a reservation whose Put failed.
+func (t *Tier) CancelReservation(size int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reserved -= size
+	if t.reserved < 0 {
+		panic("staging: reservation underflow")
+	}
+}
+
+// AdmitReserved stages a file whose size was previously Reserved,
+// converting the reservation into staged bytes. It cannot fail on
+// capacity: the reservation already holds the space.
+func (t *Tier) AdmitReserved(f *File) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reserved -= f.Size
+	if t.reserved < 0 {
+		panic("staging: admit without matching reservation")
+	}
+	t.files = append(t.files, f)
+	t.used += f.Size
+}
+
+// Admit stages a file. It fails with ErrCapacity when capacity would
+// be exceeded: the backpressure signal to the front end.
 func (t *Tier) Admit(f *File) error {
 	if f.Size < 0 {
 		return fmt.Errorf("staging: negative size for %v", f.Key)
 	}
-	if t.Capacity > 0 && t.used+f.Size > t.Capacity {
-		return fmt.Errorf("%w: %d used + %d > %d", ErrFull, t.used, f.Size, t.Capacity)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.Capacity > 0 && t.used+t.reserved+f.Size > t.Capacity {
+		return fmt.Errorf("%w: %d used + %d > %d", ErrCapacity, t.used, f.Size, t.Capacity)
 	}
 	t.files = append(t.files, f)
 	t.used += f.Size
-	if t.used > t.peakUsed {
-		t.peakUsed = t.used
+	if t.used+t.reserved > t.peakUsed {
+		t.peakUsed = t.used + t.reserved
 	}
 	return nil
 }
@@ -83,6 +191,8 @@ func fileID(f *File) string {
 // land on the same platter. Files in the batch remain staged (and
 // counted) until Release. Returns nil if nothing is staged.
 func (t *Tier) NextBatch(targetBytes int64) []*File {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.files) == 0 {
 		return nil
 	}
@@ -116,6 +226,8 @@ func (t *Tier) NextBatch(targetBytes int64) []*File {
 // Find locates a staged file by key and version, for serving reads of
 // data that is not yet durable in glass.
 func (t *Tier) Find(key metadata.FileKey, version int) (*File, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, f := range t.files {
 		if f.Key == key && f.Version == version {
 			return f, true
@@ -127,6 +239,8 @@ func (t *Tier) Find(key metadata.FileKey, version int) (*File, bool) {
 // Release frees the staging space of verified files. Releasing a file
 // that is not staged is an error (double release or never admitted).
 func (t *Tier) Release(files []*File) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	want := make(map[string]bool, len(files))
 	for _, f := range files {
 		want[fileID(f)] = true

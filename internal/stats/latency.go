@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Summary condenses one request class's latency sample for reports:
+// the serving-layer counterpart of the paper's time-to-first-byte
+// percentiles (§7.2).
+type Summary struct {
+	N    int
+	Mean float64
+	P50  float64
+	P90  float64
+	P99  float64
+	P999 float64
+	Max  float64
+}
+
+// Summarize computes a Summary from a sample.
+func Summarize(s *Sample) Summary {
+	return Summary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.5),
+		P90:  s.Quantile(0.9),
+		P99:  s.Quantile(0.99),
+		P999: s.P999(),
+		Max:  s.Max(),
+	}
+}
+
+// Recorder accumulates latency observations per request class. Unlike
+// Sample it is safe for concurrent use: the gateway's workers and the
+// load generator's closed-loop clients record into it from many
+// goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	classes map[string]*Sample
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{classes: make(map[string]*Sample)}
+}
+
+// Observe records one latency (seconds) under class.
+func (r *Recorder) Observe(class string, seconds float64) {
+	r.mu.Lock()
+	s := r.classes[class]
+	if s == nil {
+		s = NewSample()
+		r.classes[class] = s
+	}
+	s.Add(seconds)
+	r.mu.Unlock()
+}
+
+// Classes returns the recorded class names, sorted.
+func (r *Recorder) Classes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.classes))
+	for c := range r.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary reports the summary of one class (zero-valued if the class
+// was never observed).
+func (r *Recorder) Summary(class string) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.classes[class]
+	if s == nil {
+		return Summary{}
+	}
+	return Summarize(s)
+}
+
+// Summaries reports every class's summary.
+func (r *Recorder) Summaries() map[string]Summary {
+	out := make(map[string]Summary)
+	for _, c := range r.Classes() {
+		out[c] = r.Summary(c)
+	}
+	return out
+}
+
+// Table renders the recorder as an aligned latency report.
+func (r *Recorder) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %10s %10s %10s\n",
+		"class", "n", "mean", "p50", "p99", "p99.9", "max")
+	for _, c := range r.Classes() {
+		s := r.Summary(c)
+		fmt.Fprintf(&b, "%-10s %8d %10s %10s %10s %10s %10s\n",
+			c, s.N, FormatDuration(s.Mean), FormatDuration(s.P50),
+			FormatDuration(s.P99), FormatDuration(s.P999), FormatDuration(s.Max))
+	}
+	return b.String()
+}

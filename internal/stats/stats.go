@@ -289,11 +289,19 @@ func FormatBytes(b float64) string {
 	return fmt.Sprintf("%.1f%s", b, units[i])
 }
 
-// FormatDuration renders seconds as a compact h/m/s string for tables.
+// FormatDuration renders seconds as a compact us/ms/s/m/h string for
+// tables, spanning gateway latencies (microseconds) to simulated
+// retrieval times (hours).
 func FormatDuration(sec float64) string {
 	switch {
 	case sec < 0:
 		return "-" + FormatDuration(-sec)
+	case sec == 0:
+		return "0s"
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fus", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
 	case sec < 60:
 		return fmt.Sprintf("%.1fs", sec)
 	case sec < 3600:

@@ -243,6 +243,9 @@ func TestFormatDuration(t *testing.T) {
 		in   float64
 		want string
 	}{
+		{0, "0s"},
+		{0.000002, "2us"},
+		{0.0042, "4.2ms"},
 		{5, "5.0s"},
 		{90, "1.5m"},
 		{5400, "1.5h"},

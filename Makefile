@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke clean
 
 all: tier1
 
@@ -31,7 +31,16 @@ smoke:
 	$(GO) run ./cmd/silica-load -clients 32 -ops 6 -object-bytes 1024 \
 		-staging-cap 40000 -retries 20
 
-tier2: vet race smoke
+# Self-healing smoke: kill a platter-set member mid-run; the
+# background scrubber must detect it, the rebuilder must write a
+# verified replacement, and the byte-exact audit must find every
+# committed object intact. silica-load exits nonzero on any lost or
+# corrupted object or if the rebuild never completes.
+repair-smoke:
+	$(GO) run ./cmd/silica-load -clients 8 -ops 32 -read-frac 0.25 \
+		-object-bytes 2048 -platter-tracks 9 -kill-platter
+
+tier2: vet race smoke repair-smoke
 
 clean:
 	$(GO) clean ./...

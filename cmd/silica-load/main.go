@@ -10,7 +10,10 @@
 // The in-process mode can provoke deliberate overload with a small
 // -staging-cap, demonstrating admission control (rejected > 0) while
 // the final verification pass proves no accepted object was lost or
-// corrupted.
+// corrupted. It can also kill a platter mid-run (-kill-platter): the
+// background scrubber must detect the failure, rebuild the platter
+// from its set, and the byte-exact audit must still find every
+// committed object intact.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"time"
 
 	"silica/internal/gateway"
+	"silica/internal/media"
+	"silica/internal/repair"
 )
 
 func main() {
@@ -35,6 +40,9 @@ func main() {
 		backoff       = flag.Duration("backoff", 5*time.Millisecond, "base retry backoff")
 		stagingCap    = flag.Int64("staging-cap", 0, "in-process mode: staging capacity (0 = unbounded)")
 		highWatermark = flag.Float64("high-watermark", 0.95, "in-process mode: staging rejection watermark")
+		platterTracks = flag.Int("platter-tracks", 0, "in-process mode: shrink platters to this many tracks (0 = default)")
+		killPlatter   = flag.Bool("kill-platter", false, "in-process mode: fail a set member mid-run; scrubber must detect, rebuild must restore it")
+		rebuildWait   = flag.Duration("rebuild-wait", 60*time.Second, "max wait for the killed platter's rebuild before verification")
 	)
 	flag.Parse()
 
@@ -50,7 +58,12 @@ func main() {
 	}
 
 	var api gateway.API
+	var g *gateway.Gateway
 	if *url != "" {
+		if *killPlatter {
+			fmt.Fprintln(os.Stderr, "-kill-platter requires the in-process gateway (no -url)")
+			os.Exit(2)
+		}
 		api = gateway.NewClient(*url)
 		fmt.Printf("driving %s: %d clients x %d ops, %d-byte objects\n",
 			*url, lc.Clients, lc.OpsPerClient, lc.ObjectBytes)
@@ -58,7 +71,11 @@ func main() {
 		cfg := gateway.DefaultConfig()
 		cfg.Service.StagingCapacity = *stagingCap
 		cfg.StagingHighWatermark = *highWatermark
-		g, err := gateway.New(cfg)
+		if *platterTracks > 0 {
+			cfg.Service.Geom.TracksPerPlatter = *platterTracks
+		}
+		var err error
+		g, err = gateway.New(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -69,6 +86,12 @@ func main() {
 			lc.Clients, lc.OpsPerClient, lc.ObjectBytes, *stagingCap)
 	}
 
+	if *killPlatter {
+		victim := make(chan media.PlatterID, 1)
+		go killSetMember(g, victim)
+		lc.BeforeVerify = func() { awaitRebuild(g, victim, *rebuildWait) }
+	}
+
 	rep := gateway.RunLoad(api, lc)
 	fmt.Print(rep)
 
@@ -77,4 +100,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("verification: all committed objects intact")
+}
+
+// killSetMember waits for the first platter-set to complete, then
+// fails its first information member — simulating a platter lost to
+// media damage mid-run. The id is sent on victim for awaitRebuild.
+func killSetMember(g *gateway.Gateway, victim chan<- media.PlatterID) {
+	for {
+		if g.Service().Stats().SetsCompleted > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, p := range g.Service().ListPlatters() {
+		if p.Set == 0 && !p.Redundancy {
+			if err := g.Service().FailPlatter(p.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "kill: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("kill: failed platter %d (set %d pos %d) mid-run\n", p.ID, p.Set, p.SetPos)
+			victim <- p.ID
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "kill: completed set has no information members?")
+	os.Exit(1)
+}
+
+// awaitRebuild blocks until the killed platter's health history shows
+// the full healthy → failed → rebuilding → retired arc (a healthy
+// replacement published in its place) and the service reports full
+// redundancy again. Times out nonzero: a lost rebuild is a lost
+// durability promise.
+func awaitRebuild(g *gateway.Gateway, victim <-chan media.PlatterID, wait time.Duration) {
+	var id media.PlatterID
+	select {
+	case id = <-victim:
+	case <-time.After(wait):
+		fmt.Fprintln(os.Stderr, "FAIL: no platter-set completed; nothing was killed")
+		os.Exit(1)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		rec, ok := g.Service().Health().Get(id)
+		if ok && rec.Health() == repair.Retired && !g.Degraded() {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "FAIL: platter %d not rebuilt within %s (health %v)\n",
+				id, wait, rec.Health())
+			os.Exit(1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Print the arc the registry recorded, then let the byte-exact
+	// audit in RunLoad prove no object was lost.
+	for _, p := range g.HealthPlatters().Platters {
+		if p.Platter != id {
+			continue
+		}
+		fmt.Printf("rebuild: platter %d history:\n", id)
+		for _, tr := range p.History {
+			from := tr.From
+			if from == "" {
+				from = "(new)"
+			}
+			fmt.Printf("  %s -> %-10s %s\n", from, tr.To, tr.Reason)
+		}
+	}
+	st := g.Service().Stats()
+	fmt.Printf("rebuild: %d platters rebuilt, %d scrubbed sectors, %d health transitions\n",
+		st.PlattersRebuilt, st.ScrubbedSectors, st.HealthTransitions)
 }

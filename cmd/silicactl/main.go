@@ -7,16 +7,23 @@
 //	silicactl demo
 //
 // The demo subcommand runs a self-contained put/flush/get/fail/
-// recover/delete tour and prints service statistics.
+// recover/delete tour and prints service statistics. The health and
+// repair subcommands talk to a running silicad over HTTP:
+//
+//	silicactl health -url http://host:7070
+//	silicactl repair -url http://host:7070 <platter-id>
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"silica/internal/gateway"
 	"silica/internal/media"
 	"silica/internal/service"
 )
@@ -30,6 +37,10 @@ func main() {
 		demo()
 	case "put", "get", "delete":
 		single(os.Args[1], os.Args[2:])
+	case "health":
+		health(os.Args[2:])
+	case "repair":
+		repairCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -40,8 +51,63 @@ func usage() {
   silicactl demo                 full tour: put/flush/get/fail/recover/delete
   silicactl put  acct/name       store stdin as a file (then flush + read back)
   silicactl get  acct/name       (only meaningful within one process: see demo)
-  silicactl delete acct/name`)
+  silicactl delete acct/name
+  silicactl health -url URL      platter health registry of a running silicad
+  silicactl repair -url URL ID   fail + rebuild platter ID on a running silicad`)
 	os.Exit(2)
+}
+
+// health prints a running daemon's liveness summary and per-platter
+// health registry, including transition histories.
+func health(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7070", "silicad base URL")
+	fs.Parse(args)
+	c := gateway.NewClient(*url)
+	hz, err := c.Healthz()
+	check(err)
+	snap, err := c.HealthPlatters()
+	check(err)
+	fmt.Printf("status: %s", hz.Status)
+	if hz.Status != "ok" {
+		fmt.Printf(" (%d degraded sets, %d rebuilds active)", hz.DegradedSets, hz.RebuildsActive)
+	}
+	fmt.Println()
+	fmt.Printf("platters:")
+	for state, n := range snap.Counts {
+		fmt.Printf(" %d %s", n, state)
+	}
+	fmt.Println()
+	for _, p := range snap.Platters {
+		set := "unassigned"
+		if p.Set >= 0 {
+			kind := "info"
+			if p.Redundancy {
+				kind = "red"
+			}
+			set = fmt.Sprintf("set %d pos %d (%s)", p.Set, p.SetPos, kind)
+		}
+		fmt.Printf("  platter %-4d %-10s %s\n", p.Platter, p.Health, set)
+		for _, tr := range p.History {
+			fmt.Printf("    %s -> %-10s %s\n", tr.From, tr.To, tr.Reason)
+		}
+	}
+}
+
+// repairCmd asks a running daemon to fail and rebuild one platter.
+func repairCmd(args []string) {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7070", "silicad base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: silicactl repair -url URL <platter-id>")
+		os.Exit(2)
+	}
+	id, err := strconv.Atoi(fs.Arg(0))
+	check(err)
+	c := gateway.NewClient(*url)
+	check(c.Repair(media.PlatterID(id)))
+	fmt.Printf("platter %d queued for rebuild\n", id)
 }
 
 func splitKey(s string) (string, string) {

@@ -11,7 +11,9 @@
 //	DELETE /v1/objects/{account}/{name}   crypto-shred object
 //	POST   /v1/flush                      force a staging drain
 //	GET    /v1/stats                      counters, latencies, staging usage
-//	GET    /v1/healthz                    liveness
+//	GET    /v1/healthz                    liveness (503 "degraded" at reduced redundancy)
+//	GET    /v1/health/platters            platter health registry + transition history
+//	POST   /v1/repair/{platter}           fail a platter and rebuild it from its set
 //
 // SIGINT/SIGTERM triggers graceful shutdown: admission stops, in-flight
 // requests drain, and staging is flushed to glass before exit.
@@ -43,6 +45,10 @@ func main() {
 		flushBytes    = flag.Int64("flush-bytes", 0, "staged bytes that trigger a flush (0 = one platter)")
 		flushAge      = flag.Duration("flush-age", 2*time.Second, "max staged age before a flush (0 = disabled)")
 		flushInterval = flag.Duration("flush-interval", 50*time.Millisecond, "scheduler evaluation period")
+		scrubEvery    = flag.Duration("scrub-interval", 25*time.Millisecond, "pause between background scrub picks")
+		scrubTracks   = flag.Int("scrub-tracks", 2, "tracks sampled per scrub pass (0 = whole platter)")
+		autoRebuild   = flag.Bool("auto-rebuild", true, "rebuild failed platters automatically")
+		noRepair      = flag.Bool("no-repair", false, "disable the background scrubber and rebuilder")
 	)
 	flag.Parse()
 
@@ -56,6 +62,10 @@ func main() {
 	cfg.FlushBytes = *flushBytes
 	cfg.FlushAge = *flushAge
 	cfg.FlushInterval = *flushInterval
+	cfg.Repair.ScrubInterval = *scrubEvery
+	cfg.Repair.SampleTracks = *scrubTracks
+	cfg.Repair.AutoRebuild = *autoRebuild
+	cfg.DisableRepair = *noRepair
 
 	g, err := gateway.New(cfg)
 	if err != nil {

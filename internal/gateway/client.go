@@ -9,7 +9,9 @@ import (
 	"net/url"
 	"time"
 
+	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/repair"
 	"silica/internal/service"
 )
 
@@ -160,4 +162,55 @@ func (c *Client) Stats() (StatsSnapshot, error) {
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(&snap)
 	return snap, err
+}
+
+// HealthPlatters fetches the per-platter health registry snapshot.
+func (c *Client) HealthPlatters() (repair.Snapshot, error) {
+	var snap repair.Snapshot
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/health/platters", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// Repair asks the daemon to fail and rebuild a platter.
+func (c *Client) Repair(id media.PlatterID) error {
+	req, err := http.NewRequest(http.MethodPost, fmt.Sprintf("%s/v1/repair/%d", c.BaseURL, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Healthz fetches the liveness/redundancy summary. A degraded service
+// answers 503 with a body; that is still a successful probe, so both
+// the 200 and 503 payloads decode into Healthz.
+func (c *Client) Healthz() (Healthz, error) {
+	var h Healthz
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusServiceUnavailable {
+		return h, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	return h, err
 }

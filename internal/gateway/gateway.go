@@ -26,6 +26,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silica/internal/media"
+	"silica/internal/repair"
 	"silica/internal/service"
 	"silica/internal/staging"
 	"silica/internal/stats"
@@ -71,6 +73,14 @@ type Config struct {
 
 	// FlushInterval is the scheduler's evaluation period.
 	FlushInterval time.Duration
+
+	// Repair configures the background scrubber and rebuilder; zero
+	// fields take repair.DefaultConfig values.
+	Repair repair.Config
+
+	// DisableRepair turns the background repair manager off entirely
+	// (tests that inject failures and expect them to persist).
+	DisableRepair bool
 }
 
 // DefaultConfig returns a small but genuinely concurrent gateway over
@@ -86,6 +96,7 @@ func DefaultConfig() Config {
 		FlushBytes:           0, // one platter
 		FlushAge:             2 * time.Second,
 		FlushInterval:        50 * time.Millisecond,
+		Repair:               repair.DefaultConfig(),
 	}
 }
 
@@ -150,6 +161,8 @@ type Gateway struct {
 	workerWG  sync.WaitGroup
 	schedWG   sync.WaitGroup
 
+	repair *repair.Manager // nil when DisableRepair
+
 	lat       *stats.Recorder
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -202,12 +215,50 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.schedWG.Add(1)
 	go g.flushLoop()
+	if !cfg.DisableRepair {
+		// Background scrub/rebuild yields to foreground traffic: it
+		// only takes a work slice while both queues sit under half
+		// their watermark (§5: repair must not degrade serving).
+		gate := func() bool {
+			return len(g.writeq) <= cap(g.writeq)/2 && len(g.readq) <= cap(g.readq)/2
+		}
+		g.repair = repair.NewManager(svc, svc.Health(), gate, cfg.Repair)
+		g.repair.Start()
+	}
 	return g, nil
 }
 
 // Service exposes the underlying storage service (stats, failure
 // injection in tests).
 func (g *Gateway) Service() *service.Service { return g.svc }
+
+// Repair exposes the background repair manager (nil when disabled).
+func (g *Gateway) Repair() *repair.Manager { return g.repair }
+
+// HealthPlatters snapshots the platter health registry.
+func (g *Gateway) HealthPlatters() repair.Snapshot {
+	return g.svc.Health().Snapshot()
+}
+
+// RequestRepair marks a platter failed and queues it for rebuild (the
+// operator "repair now" path). Errors when repair is disabled or the
+// platter cannot be repaired.
+func (g *Gateway) RequestRepair(id media.PlatterID) error {
+	if g.repair == nil {
+		return fmt.Errorf("gateway: repair manager disabled")
+	}
+	return g.repair.RequestRebuild(id)
+}
+
+// Degraded reports whether the service is serving at reduced
+// redundancy: some platter-set has an unavailable member, or a rebuild
+// is in flight.
+func (g *Gateway) Degraded() bool {
+	if g.svc.DegradedSets() > 0 {
+		return true
+	}
+	return g.repair != nil && g.repair.RebuildsActive() > 0
+}
 
 // submit runs one request through admission control and its class
 // queue, blocking the caller until a worker finishes it — the
@@ -341,6 +392,9 @@ func (g *Gateway) Close() error {
 	close(g.readq)
 	g.admitMu.Unlock()
 
+	if g.repair != nil {
+		g.repair.Close() // no scrubs or rebuilds during the final drain
+	}
 	g.workerWG.Wait() // queues drained, in-flight requests answered
 	close(g.stop)
 	g.schedWG.Wait()

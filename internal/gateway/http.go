@@ -5,9 +5,12 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/repair"
 	"silica/internal/service"
 	"silica/internal/staging"
 	"silica/internal/stats"
@@ -20,7 +23,12 @@ import (
 //	DELETE /v1/objects/{account}/{name...}  → {"deleted": true}
 //	POST   /v1/flush                        → {"flushed": true}   (drains staging)
 //	GET    /v1/stats                        → StatsSnapshot JSON
-//	GET    /v1/healthz                      → "ok"
+//	GET    /v1/healthz                      → {"status":"ok"}; 503 {"status":"degraded",...}
+//	                                          while a platter-set has lost redundancy
+//	                                          or a rebuild is running
+//	GET    /v1/health/platters              → repair.Snapshot JSON (per-platter health
+//	                                          + transition history)
+//	POST   /v1/repair/{platter}             → {"queued": true}    (fail + rebuild platter)
 //
 // Overload (queue full, staging watermark, staging capacity) returns
 // 429 with a Retry-After header; unknown objects 404; unrecoverable
@@ -38,10 +46,55 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/objects/{account}/{name...}", g.handleDelete)
 	mux.HandleFunc("POST /v1/flush", g.handleFlush)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.HandleFunc("GET /v1/health/platters", g.handleHealthPlatters)
+	mux.HandleFunc("POST /v1/repair/{platter}", g.handleRepair)
 	return mux
+}
+
+// Healthz is the /v1/healthz payload.
+type Healthz struct {
+	Status         string `json:"status"` // "ok" | "degraded"
+	DegradedSets   int    `json:"degraded_sets,omitempty"`
+	RebuildsActive int64  `json:"rebuilds_active,omitempty"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Healthz{Status: "ok", DegradedSets: g.svc.DegradedSets()}
+	if g.repair != nil {
+		h.RebuildsActive = g.repair.RebuildsActive()
+	}
+	if h.DegradedSets > 0 || h.RebuildsActive > 0 {
+		h.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
+}
+
+func (g *Gateway) handleHealthPlatters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, g.HealthPlatters())
+}
+
+func (g *Gateway) handleRepair(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("platter"))
+	if err != nil {
+		http.Error(w, "need /v1/repair/{platter} with a numeric platter id", http.StatusBadRequest)
+		return
+	}
+	if err := g.RequestRepair(media.PlatterID(id)); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, repair.ErrUnknownPlatter) {
+			code = http.StatusNotFound
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, map[string]bool{"queued": true})
 }
 
 func objectKey(r *http.Request) (account, name string, ok bool) {
@@ -135,17 +188,24 @@ type StatsSnapshot struct {
 	Latencies map[string]stats.Summary `json:"latencies"`
 	Staging   staging.Usage            `json:"staging"`
 	Service   service.Stats            `json:"service"`
+	Health    repair.Snapshot          `json:"health"`
+	Repair    repair.ManagerStats      `json:"repair"`
 }
 
 // Snapshot assembles the current stats.
 func (g *Gateway) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Uptime:    time.Since(g.start).Seconds(),
 		Counters:  g.Counters(),
 		Latencies: g.lat.Summaries(),
 		Staging:   g.svc.StagingUsage(),
 		Service:   g.svc.Stats(),
+		Health:    g.HealthPlatters(),
 	}
+	if g.repair != nil {
+		snap.Repair = g.repair.Stats()
+	}
+	return snap
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,10 @@ type LoadConfig struct {
 	MaxRetries int
 	// RetryBackoff is the base backoff after an overload rejection.
 	RetryBackoff time.Duration
+	// BeforeVerify, when set, runs after the final flush and before the
+	// byte-exact audit — the hook the repair smoke test uses to wait for
+	// a mid-run platter kill's rebuild to complete.
+	BeforeVerify func()
 }
 
 // DefaultLoadConfig returns a small mixed workload.
@@ -135,6 +139,9 @@ func RunLoad(api API, cfg LoadConfig) LoadReport {
 	// then check every committed object byte-exactly.
 	if err := api.Flush(); err != nil {
 		errs.Add(1)
+	}
+	if cfg.BeforeVerify != nil {
+		cfg.BeforeVerify()
 	}
 	for name, seed := range allSeeds {
 		got, err := api.Get("load", name)

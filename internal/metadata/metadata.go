@@ -229,6 +229,29 @@ func (s *Store) LiveBytesOnPlatter(p media.PlatterID) int64 {
 	return total
 }
 
+// RemapPlatter rewrites every extent pointing at platter old to point
+// at platter new, preserving sector addresses — the replacement is a
+// sector-exact copy. Used by automated rebuild to swap a failed
+// platter for its reconstructed replacement in one atomic step; a Get
+// racing the swap resolves either id, both of which serve identical
+// bytes. Returns the number of extents remapped.
+func (s *Store) RemapPlatter(old, new media.PlatterID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.files {
+		for _, v := range e.versions {
+			for i := range v.Extents {
+				if v.Extents[i].Platter == old {
+					v.Extents[i].Platter = new
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // HeaderEntry is one line of a platter's self-descriptive header.
 type HeaderEntry struct {
 	Key     FileKey

@@ -210,3 +210,41 @@ func TestStateString(t *testing.T) {
 		t.Fatal("unknown state format")
 	}
 }
+
+func TestRemapPlatter(t *testing.T) {
+	s := NewStore()
+	va := s.Put(k("a"), 10, "ka", 1)
+	s.SetExtents(k("a"), va.Version, []Extent{
+		{Platter: 1, FirstSector: 0, SectorCount: 4, Shard: 0},
+		{Platter: 2, FirstSector: 0, SectorCount: 4, Shard: 1},
+	})
+	vb := s.Put(k("b"), 10, "kb", 1)
+	s.SetExtents(k("b"), vb.Version, []Extent{
+		{Platter: 1, FirstSector: 4, SectorCount: 2, Shard: 0},
+	})
+
+	if n := s.RemapPlatter(1, 7); n != 2 {
+		t.Fatalf("remapped %d extents, want 2", n)
+	}
+	a, err := s.Get(k("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sector addresses survive the swap; only the platter id changes.
+	if a.Extents[0].Platter != 7 || a.Extents[0].FirstSector != 0 || a.Extents[0].SectorCount != 4 {
+		t.Fatalf("extent 0 = %+v", a.Extents[0])
+	}
+	if a.Extents[1].Platter != 2 {
+		t.Fatalf("unrelated extent remapped: %+v", a.Extents[1])
+	}
+	b, err := s.Get(k("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Extents[0].Platter != 7 || b.Extents[0].FirstSector != 4 {
+		t.Fatalf("b extent = %+v", b.Extents[0])
+	}
+	if n := s.RemapPlatter(1, 9); n != 0 {
+		t.Fatalf("second remap found %d extents, want 0", n)
+	}
+}

@@ -1,0 +1,250 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silica/internal/media"
+)
+
+// ErrUnknownPlatter is returned for operations on unregistered platters.
+var ErrUnknownPlatter = fmt.Errorf("repair: unknown platter")
+
+// ErrNoRebuildSource marks a rebuild that can never succeed: the
+// platter is not part of a completed platter-set, so there is no
+// redundancy to reconstruct it from. Targets wrap it so the manager
+// knows not to retry.
+var ErrNoRebuildSource = fmt.Errorf("repair: no completed platter-set to rebuild from")
+
+// Record is one platter's health entry. The health word is atomic so
+// the read path can consult it per-sector without taking the registry
+// lock; everything else is guarded by the registry mutex.
+type Record struct {
+	id     media.PlatterID
+	health atomic.Int32
+
+	// tierReports counts degraded reads served per recovery tier since
+	// the platter was published; tierSinceScrub is the window since the
+	// last scrub, which drives scrub prioritization.
+	tierReports    [numTiers]atomic.Int64
+	tierSinceScrub [numTiers]atomic.Int64
+
+	// Guarded by the owning registry's mutex.
+	set        int
+	setPos     int
+	redundancy bool
+	history    []Transition
+	lastScrub  *ScrubReport
+	scrubs     int
+}
+
+// Health returns the platter's current health (atomic; safe on the
+// read path).
+func (r *Record) Health() Health { return Health(r.health.Load()) }
+
+// Unavailable reports whether reads of this platter must recover
+// through its platter-set.
+func (r *Record) Unavailable() bool { return r.Health().Unavailable() }
+
+// ReportTier records that a degraded read of this platter was served
+// by the given recovery tier. Lock-free: called from the read path.
+func (r *Record) ReportTier(t Tier) {
+	r.tierReports[t].Add(1)
+	r.tierSinceScrub[t].Add(1)
+}
+
+// reportsSinceScrub sums the degraded-read reports accumulated since
+// the last scrub pass.
+func (r *Record) reportsSinceScrub() int64 {
+	var n int64
+	for i := range r.tierSinceScrub {
+		n += r.tierSinceScrub[i].Load()
+	}
+	return n
+}
+
+// Registry is the platter health state machine. All transitions are
+// validated, recorded per platter, and counted globally, so failure
+// injection and repair progress are observable end to end.
+type Registry struct {
+	mu       sync.Mutex
+	platters map[media.PlatterID]*Record
+	// transitions counts every recorded edge, keyed "from->to".
+	transitions map[string]int64
+	total       int64
+	now         func() time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		platters:    make(map[media.PlatterID]*Record),
+		transitions: make(map[string]int64),
+		now:         time.Now,
+	}
+}
+
+// Register adds a platter as Healthy and returns its record. Reason is
+// recorded as the platter's birth entry (e.g. "published" or "rebuilt
+// from set 3"). Registering an existing id returns its record.
+func (g *Registry) Register(id media.PlatterID, reason string) *Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.platters[id]; ok {
+		return r
+	}
+	r := &Record{id: id, set: -1}
+	r.history = append(r.history, Transition{To: Healthy.String(), Reason: reason, At: g.now()})
+	g.platters[id] = r
+	return r
+}
+
+// Get returns a platter's record.
+func (g *Registry) Get(id media.PlatterID) (*Record, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.platters[id]
+	return r, ok
+}
+
+// SetPlacement records a platter's position within its completed
+// platter-set, for health reporting.
+func (g *Registry) SetPlacement(id media.PlatterID, set, setPos int, redundancy bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.platters[id]; ok {
+		r.set, r.setPos, r.redundancy = set, setPos, redundancy
+	}
+}
+
+// Transition moves a platter to health `to`, recording the edge.
+// Transitioning to the current state is a no-op. Illegal transitions
+// (e.g. reviving a Retired platter) return an error and change
+// nothing.
+func (g *Registry) Transition(id media.PlatterID, to Health, reason string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.platters[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPlatter, id)
+	}
+	from := Health(r.health.Load())
+	if from == to {
+		return nil
+	}
+	legal := false
+	for _, n := range legalHealthTransitions[from] {
+		if n == to {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		return fmt.Errorf("repair: platter %d: illegal transition %v -> %v", id, from, to)
+	}
+	r.health.Store(int32(to))
+	r.history = append(r.history, Transition{
+		From: from.String(), To: to.String(), Reason: reason, At: g.now(),
+	})
+	g.transitions[from.String()+"->"+to.String()]++
+	g.total++
+	return nil
+}
+
+// RecordScrub attaches the latest scrub result to a platter and resets
+// its since-scrub degraded-read window.
+func (g *Registry) RecordScrub(id media.PlatterID, rep ScrubReport) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.platters[id]
+	if !ok {
+		return
+	}
+	cp := rep
+	r.lastScrub = &cp
+	r.scrubs++
+	for i := range r.tierSinceScrub {
+		r.tierSinceScrub[i].Store(0)
+	}
+}
+
+// TransitionTotal reports the number of health transitions recorded.
+func (g *Registry) TransitionTotal() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}
+
+// Counts tallies platters per health state.
+func (g *Registry) Counts() map[Health]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[Health]int)
+	for _, r := range g.platters {
+		out[r.Health()]++
+	}
+	return out
+}
+
+// PlatterHealth is the externally visible health of one platter.
+type PlatterHealth struct {
+	Platter       media.PlatterID `json:"platter"`
+	Health        string          `json:"health"`
+	Set           int             `json:"set"`
+	SetPos        int             `json:"set_pos"`
+	Redundancy    bool            `json:"redundancy,omitempty"`
+	SectorRepairs int64           `json:"sector_repairs"`
+	TrackRebuilds int64           `json:"track_rebuilds"`
+	SetRecoveries int64           `json:"set_recoveries"`
+	Scrubs        int             `json:"scrubs"`
+	LastScrub     *ScrubReport    `json:"last_scrub,omitempty"`
+	History       []Transition    `json:"history"`
+}
+
+// Snapshot is the full registry state: the /v1/health/platters payload.
+type Snapshot struct {
+	Counts      map[string]int   `json:"counts"`
+	Transitions map[string]int64 `json:"transitions"`
+	Platters    []PlatterHealth  `json:"platters"`
+}
+
+// Snapshot captures every platter's health, history, and scrub state.
+func (g *Registry) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	snap := Snapshot{
+		Counts:      make(map[string]int),
+		Transitions: make(map[string]int64, len(g.transitions)),
+	}
+	for k, v := range g.transitions {
+		snap.Transitions[k] = v
+	}
+	for _, r := range g.platters {
+		h := r.Health()
+		snap.Counts[h.String()]++
+		ph := PlatterHealth{
+			Platter:       r.id,
+			Health:        h.String(),
+			Set:           r.set,
+			SetPos:        r.setPos,
+			Redundancy:    r.redundancy,
+			SectorRepairs: r.tierReports[TierSector].Load(),
+			TrackRebuilds: r.tierReports[TierTrack].Load(),
+			SetRecoveries: r.tierReports[TierSet].Load(),
+			Scrubs:        r.scrubs,
+			History:       append([]Transition(nil), r.history...),
+		}
+		if r.lastScrub != nil {
+			cp := *r.lastScrub
+			ph.LastScrub = &cp
+		}
+		snap.Platters = append(snap.Platters, ph)
+	}
+	sort.Slice(snap.Platters, func(i, j int) bool {
+		return snap.Platters[i].Platter < snap.Platters[j].Platter
+	})
+	return snap
+}

@@ -1,0 +1,232 @@
+// Integration and property tests for the full self-healing loop:
+// fail → scrub-detect → rebuild → byte-exact reads, driven through the
+// gateway with concurrent foreground load. External test package so it
+// can import gateway (which imports repair).
+package repair_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"silica/internal/gateway"
+	"silica/internal/media"
+	"silica/internal/repair"
+	"silica/internal/sim"
+)
+
+func randBytes(seed uint64, n int) []byte {
+	r := sim.NewRNG(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Uint64())
+	}
+	return out
+}
+
+// TestEverysetMemberSurvivesFailAndRebuild is the property test of the
+// repair subsystem: for EVERY position of a completed platter-set —
+// information and redundancy platters alike — injecting a failure must
+// lead to scrub detection, automatic rebuild, and byte-exact reads of
+// every committed object, while concurrent gateway readers hammer the
+// same objects. Run under -race by `make race`.
+func TestEverySetMemberSurvivesFailAndRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rebuild integration run")
+	}
+	cfg := gateway.DefaultConfig()
+	cfg.Service.Geom.TracksPerPlatter = 9 // 64 kB platters
+	cfg.Service.SetInfo = 2               // small sets: 4 rebuild cycles total
+	cfg.Service.SetRed = 2
+	// A quieter channel speeds LDPC convergence; the property under
+	// test is the repair loop, not decode under noise (the service
+	// tests cover that).
+	cfg.Service.Channel.Sigma = 0.10
+	cfg.FlushAge = 0
+	cfg.FlushBytes = 1 << 40 // flush manually; keeps the platter count stable
+	// Failure detection rides the scrub tick, so keep it brisk — but
+	// each tick decodes real sectors, so don't saturate a core either.
+	cfg.Repair.ScrubInterval = 10 * time.Millisecond
+	cfg.Repair.SampleTracks = 1
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Commit SetInfo platters' worth of objects so set 0 completes.
+	platterBytes := int(cfg.Service.Geom.PlatterUserBytes())
+	files := map[string][]byte{}
+	for i := 0; i < cfg.Service.SetInfo; i++ {
+		name := fmt.Sprintf("bulk%d", i)
+		data := randBytes(uint64(300+i), platterBytes*3/4)
+		files[name] = data
+		if _, err := g.Put("acct", name, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g.Service().Stats(); st.SetsCompleted != 1 {
+		t.Fatalf("sets completed = %d", st.SetsCompleted)
+	}
+
+	// Foreground load: concurrent readers (and a writer) run through
+	// every fail/rebuild cycle; the rebuilder must stay correct and
+	// yield under traffic.
+	done := make(chan struct{})
+	var loadErrs atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			names := []string{"bulk0", "bulk1"}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				name := names[(r+i)%len(names)]
+				got, err := g.Get("acct", name)
+				if err != nil || !bytes.Equal(got, files[name]) {
+					loadErrs.Add(1)
+				}
+				// Closed-loop pacing: keep read pressure on without
+				// starving the rebuild of CPU.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := g.Put("acct", fmt.Sprintf("side%d", i), randBytes(uint64(i), 512)); err != nil {
+				loadErrs.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Fail every position of set 0, one at a time. Set membership
+	// changes as rebuilds swap in replacements, so re-resolve the
+	// current member at each position.
+	setSize := cfg.Service.SetInfo + cfg.Service.SetRed
+	for pos := 0; pos < setSize; pos++ {
+		var victim media.PlatterID = -1
+		var isRed bool
+		for _, p := range g.Service().ListPlatters() {
+			if p.Set == 0 && p.SetPos == pos {
+				victim, isRed = p.ID, p.Redundancy
+				break
+			}
+		}
+		if victim < 0 {
+			t.Fatalf("no platter at set 0 pos %d", pos)
+		}
+		if err := g.Service().FailPlatter(victim); err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		// The scrubber must detect the failure and drive the rebuild
+		// with no operator involvement.
+		deadline := time.Now().Add(90 * time.Second)
+		for {
+			rec, ok := g.Service().Health().Get(victim)
+			if ok && rec.Health() == repair.Retired {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("pos %d (red=%v): platter %d not rebuilt; counts %v",
+					pos, isRed, victim, g.HealthPlatters().Counts)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		// Property: every committed object byte-exact after the swap.
+		for name, want := range files {
+			got, err := g.Get("acct", name)
+			if err != nil {
+				t.Fatalf("pos %d: %s: %v", pos, name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pos %d: %s corrupted after rebuild of %d", pos, name, victim)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if n := loadErrs.Load(); n != 0 {
+		t.Fatalf("%d foreground load errors during repair", n)
+	}
+
+	// The registry must carry the full arc for every victim and the
+	// set must be back to full redundancy.
+	snap := g.HealthPlatters()
+	if snap.Transitions["healthy->failed"] < int64(setSize) ||
+		snap.Transitions["failed->rebuilding"] < int64(setSize) ||
+		snap.Transitions["rebuilding->retired"] < int64(setSize) {
+		t.Fatalf("transition counters incomplete: %v", snap.Transitions)
+	}
+	if g.Service().DegradedSets() != 0 {
+		t.Fatalf("still degraded: %d sets", g.Service().DegradedSets())
+	}
+	if st := g.Service().Stats(); st.PlattersRebuilt < setSize {
+		t.Fatalf("platters rebuilt = %d, want >= %d", st.PlattersRebuilt, setSize)
+	}
+}
+
+// TestScrubberCoversPublishedPlatters checks the background scrubber
+// actually samples real media through the decode stack and records
+// results into the registry and service stats.
+func TestScrubberCoversPublishedPlatters(t *testing.T) {
+	cfg := gateway.DefaultConfig()
+	cfg.Service.Geom.TracksPerPlatter = 9
+	cfg.FlushAge = 0
+	cfg.FlushBytes = 1 << 40
+	cfg.Repair.ScrubInterval = 2 * time.Millisecond
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Put("acct", "obj", randBytes(1, 30000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := g.HealthPlatters()
+		scrubbed := 0
+		for _, p := range snap.Platters {
+			if p.Scrubs > 0 && p.LastScrub != nil {
+				scrubbed++
+			}
+		}
+		if scrubbed == len(snap.Platters) && scrubbed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrubber did not cover all platters: %+v", snap.Counts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := g.Service().Stats()
+	if st.ScrubbedSectors == 0 || st.ScrubMinMargin <= 0 || st.ScrubMinMargin > 1 {
+		t.Fatalf("scrub stats = %+v", st)
+	}
+	if g.Repair().Stats().Scrubs == 0 {
+		t.Fatal("manager recorded no scrubs")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"silica/internal/keystore"
 	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/repair"
 	"silica/internal/sim"
 )
 
@@ -99,13 +100,14 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RN
 	iPerTrack := geom.InfoSectorsPerTrack
 	infoTrack := infoSector / iPerTrack
 	sPos := infoSector % iPerTrack
-	if pi.failed.Load() {
+	if pi.rec.Unavailable() {
 		// Level 4: the platter is unavailable; rebuild from its set.
 		payload, err := s.recoverFromSet(pi, infoSector, rng)
 		if err != nil {
 			return nil, err
 		}
 		s.addStats(func(st *Stats) { st.PlatterRecovers++ })
+		pi.rec.ReportTier(repair.TierSet)
 		return payload, nil
 	}
 	phys := geom.InfoTrackPhysical(infoTrack)
@@ -115,11 +117,13 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RN
 	// Level 2: read the whole track, repair via within-track NC.
 	if payload, ok := s.repairWithinTrack(pi, phys, sPos, rng); ok {
 		s.addStats(func(st *Stats) { st.SectorRepairs++ })
+		pi.rec.ReportTier(repair.TierSector)
 		return payload, nil
 	}
 	// Level 3: rebuild the whole track from its large group.
 	if payload, ok := s.rebuildTrackSector(pi, infoTrack, sPos, rng); ok {
 		s.addStats(func(st *Stats) { st.TrackRebuilds++ })
+		pi.rec.ReportTier(repair.TierTrack)
 		return payload, nil
 	}
 	return nil, fmt.Errorf("%w: platter %d sector %d beyond all coding levels", ErrUnavailable, id, infoSector)
@@ -216,6 +220,7 @@ func (s *Service) RecyclePlatter(id media.PlatterID) error {
 		return err
 	}
 	delete(s.platters, id)
+	_ = s.health.Transition(id, repair.Retired, "recycled as feedstock")
 	s.addStats(func(st *Stats) { st.PlattersRecycled++ })
 	return nil
 }
@@ -248,7 +253,7 @@ func (s *Service) recoverFromSet(pi *platterInfo, infoSector int, rng *sim.RNG) 
 		if pos == setPos {
 			continue
 		}
-		if mpi == nil || mpi.failed.Load() {
+		if mpi == nil || mpi.rec.Unavailable() {
 			continue
 		}
 		usedTracks := (mpi.usedInfoSectors + geom.InfoSectorsPerTrack - 1) / geom.InfoSectorsPerTrack

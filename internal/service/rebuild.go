@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+
+	"silica/internal/media"
+	"silica/internal/repair"
+)
+
+// RebuildPlatter reconstructs a platter's full contents from its
+// cross-platter platter-set (§5), writes a verified replacement
+// through the normal write pipeline, and atomically swaps the extent
+// mappings and set membership to the new platter. In-flight reads
+// never observe a half-rebuilt platter: a read that already resolved
+// extents to the old id still finds its (retired) record and recovers
+// through the set, while every new read resolves to the replacement.
+//
+// Works for information platters (reconstruct the platter's unit of
+// the set code, remap its extents) and for set-redundancy platters
+// (reconstruct all information units, re-encode the redundancy unit;
+// no extents to remap). Returns the replacement platter's id.
+func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
+	// Rebuild is a write of a platter's worth of media: serialize with
+	// flushes so the write pipeline stays single-writer.
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.RLock()
+	pi, ok := s.platters[old]
+	var members []media.PlatterID
+	var infos []*platterInfo
+	var setIdx, setPos int
+	var isRed bool
+	var used int
+	if ok {
+		setIdx, setPos, isRed, used = pi.set, pi.setPos, pi.isRedundancy, pi.usedInfoSectors
+		if setIdx >= 0 && setIdx < len(s.sets) {
+			members = append([]media.PlatterID(nil), s.sets[setIdx]...)
+			infos = make([]*platterInfo, len(members))
+			for i, mid := range members {
+				infos[i] = s.platters[mid]
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return -1, fmt.Errorf("service: unknown platter %d", old)
+	}
+	if members == nil {
+		return -1, fmt.Errorf("service: platter %d: %w", old, repair.ErrNoRebuildSource)
+	}
+
+	newID := s.allocPlatterID()
+	rng := s.writeRNG(newID)
+	geom := s.cfg.Geom
+
+	// Decode every available member's payloads once (descrambled, with
+	// within-track repair as fallback), then reconstruct the lost unit
+	// sector by sector. Members shorter than the target contribute
+	// zeros, mirroring the set-redundancy encode.
+	zero := make([]byte, geom.SectorPayloadBytes)
+	memberPayloads := make([][][]byte, len(members))
+	for pos, mpi := range infos {
+		if pos == setPos || mpi == nil || mpi.rec.Unavailable() {
+			continue
+		}
+		iPerTrack := geom.InfoSectorsPerTrack
+		musedTracks := (mpi.usedInfoSectors + iPerTrack - 1) / iPerTrack
+		pls := make([][]byte, used)
+		for sec := 0; sec < used; sec++ {
+			if sec/iPerTrack >= musedTracks {
+				pls[sec] = zero
+				continue
+			}
+			phys := geom.InfoTrackPhysical(sec / iPerTrack)
+			sPos := sec % iPerTrack
+			if payload, ok := s.decodeSector(mpi, phys, sPos, rng); ok {
+				pls[sec] = payload
+			} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, rng); ok {
+				pls[sec] = payload
+			}
+		}
+		memberPayloads[pos] = pls
+	}
+	payloads := make([][]byte, used)
+	avail := make(map[int][]byte, len(members))
+	for sec := 0; sec < used; sec++ {
+		for k := range avail {
+			delete(avail, k)
+		}
+		for pos, pls := range memberPayloads {
+			if pls != nil && pls[sec] != nil {
+				avail[pos] = pls[sec]
+			}
+		}
+		if isRed {
+			// Redundancy unit: rebuild the information vector, then
+			// re-encode this platter's redundancy position.
+			info, err := s.setGroup.ReconstructAll(avail)
+			if err != nil {
+				return -1, fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
+			}
+			red, err := s.setGroup.EncodeRedundancy(info)
+			if err != nil {
+				return -1, err
+			}
+			payloads[sec] = red[setPos-s.cfg.SetInfo]
+		} else {
+			rec, err := s.setGroup.Reconstruct(avail, []int{setPos})
+			if err != nil {
+				return -1, fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
+			}
+			payloads[sec] = rec[setPos]
+		}
+	}
+
+	// Burn and verify the replacement exactly like a fresh platter
+	// (§3.1: publish-after-verify).
+	npi := &platterInfo{
+		platter: media.NewPlatter(newID, geom), usedInfoSectors: used,
+		set: setIdx, setPos: setPos, isRedundancy: isRed,
+	}
+	if err := s.burnPlatter(npi, payloads); err != nil {
+		return -1, err
+	}
+	if err := npi.platter.Transition(media.Verifying); err != nil {
+		return -1, err
+	}
+	iPerTrack := geom.InfoSectorsPerTrack
+	if !s.verifyPlatter(npi, (used+iPerTrack-1)/iPerTrack, rng) {
+		s.addStats(func(st *Stats) { st.PlattersFaulted++ })
+		if err := npi.platter.Transition(media.Faulted); err != nil {
+			return -1, err
+		}
+		return -1, fmt.Errorf("service: rebuilt platter %d failed verification (channel too noisy?)", newID)
+	}
+	if err := npi.platter.Transition(media.Stored); err != nil {
+		return -1, err
+	}
+
+	// Publish the replacement and swap the set membership in one
+	// critical section, then remap extents. Readers either resolve the
+	// old id (unavailable → set recovery, which now draws on the
+	// replacement's peers) or the new id; never partial media.
+	npi.rec = s.health.Register(newID, fmt.Sprintf("rebuilt from set %d (replaces platter %d)", setIdx, old))
+	s.mu.Lock()
+	s.platters[newID] = npi
+	s.sets[setIdx][setPos] = newID
+	s.mu.Unlock()
+	s.health.SetPlacement(newID, setIdx, setPos, isRed)
+	remapped := s.meta.RemapPlatter(old, newID)
+	_ = s.health.Transition(old, repair.Retired,
+		fmt.Sprintf("rebuilt as platter %d (%d extents remapped)", newID, remapped))
+	s.addStats(func(st *Stats) { st.PlattersRebuilt++ })
+	return newID, nil
+}

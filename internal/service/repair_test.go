@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"silica/internal/media"
+	"silica/internal/metadata"
+	"silica/internal/repair"
+)
+
+// smallSetConfig shrinks platters so a platter-set completes from a
+// few tens of kilobytes, keeping rebuild tests fast.
+func smallSetConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geom.TracksPerPlatter = 9 // 8 info tracks + 1 large-group red
+	return cfg
+}
+
+// fillSet writes SetInfo platter-sized files, flushing each onto its
+// own platter so the first platter-set completes. Returns the files.
+func fillSet(t *testing.T, s *Service, cfg Config) map[string][]byte {
+	t.Helper()
+	platterBytes := int(cfg.Geom.PlatterUserBytes())
+	files := map[string][]byte{}
+	for i := 0; i < cfg.SetInfo; i++ {
+		name := fmt.Sprintf("bulk%d", i)
+		data := randBytes(uint64(50+i), platterBytes*3/4)
+		files[name] = data
+		if _, err := s.Put("acct", name, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.SetsCompleted != 1 {
+		t.Fatalf("sets completed = %d, want 1", st.SetsCompleted)
+	}
+	return files
+}
+
+func platterOf(t *testing.T, s *Service, account, name string) media.PlatterID {
+	t.Helper()
+	v, err := s.Metadata().Get(metadata.FileKey{Account: account, Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Extents[0].Platter
+}
+
+func TestRebuildInfoPlatter(t *testing.T) {
+	cfg := smallSetConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := fillSet(t, s, cfg)
+
+	old := platterOf(t, s, "acct", "bulk0")
+	if err := s.FailPlatter(old); err != nil {
+		t.Fatal(err)
+	}
+	if s.DegradedSets() != 1 {
+		t.Fatalf("degraded sets = %d, want 1", s.DegradedSets())
+	}
+	newID, err := s.RebuildPlatter(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == old {
+		t.Fatalf("rebuild returned the old id %d", old)
+	}
+
+	// Extents now point at the replacement and reads are direct again.
+	if got := platterOf(t, s, "acct", "bulk0"); got != newID {
+		t.Fatalf("extents point at %d, want %d", got, newID)
+	}
+	before := s.Stats().PlatterRecovers
+	for name, want := range files {
+		got, err := s.Get("acct", name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: mismatch after rebuild", name)
+		}
+	}
+	if after := s.Stats().PlatterRecovers; after != before {
+		t.Fatalf("reads still recovering through the set (%d -> %d)", before, after)
+	}
+
+	// Registry: old retired with the full arc, replacement healthy.
+	oldRec, ok := s.Health().Get(old)
+	if !ok || oldRec.Health() != repair.Retired {
+		t.Fatalf("old platter health = %v", oldRec.Health())
+	}
+	newRec, ok := s.Health().Get(newID)
+	if !ok || newRec.Health() != repair.Healthy {
+		t.Fatalf("new platter health missing or not healthy")
+	}
+	st := s.Stats()
+	if st.PlattersRebuilt != 1 {
+		t.Fatalf("platters rebuilt = %d", st.PlattersRebuilt)
+	}
+	if s.DegradedSets() != 0 {
+		t.Fatalf("still degraded after rebuild: %d sets", s.DegradedSets())
+	}
+}
+
+func TestRebuildRedundancyPlatterRestoresProtection(t *testing.T) {
+	cfg := smallSetConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := fillSet(t, s, cfg)
+
+	// Find a redundancy member of set 0 and rebuild it after failure.
+	var red media.PlatterID = -1
+	for _, p := range s.ListPlatters() {
+		if p.Set == 0 && p.Redundancy {
+			red = p.ID
+			break
+		}
+	}
+	if red < 0 {
+		t.Fatal("no redundancy platter in completed set")
+	}
+	if err := s.FailPlatter(red); err != nil {
+		t.Fatal(err)
+	}
+	newRed, err := s.RebuildPlatter(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuilt redundancy platter must carry correct parity: fail an
+	// information member and recover its data through the set.
+	info := platterOf(t, s, "acct", "bulk1")
+	if err := s.FailPlatter(info); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("acct", "bulk1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, files["bulk1"]) {
+		t.Fatal("set recovery through rebuilt redundancy platter mismatched")
+	}
+	if s.Stats().PlatterRecovers == 0 {
+		t.Fatal("expected set recoveries")
+	}
+	if rec, ok := s.Health().Get(newRed); !ok || rec.Health() != repair.Healthy {
+		t.Fatal("rebuilt redundancy platter not healthy")
+	}
+}
+
+func TestRebuildWithoutCompletedSetFails(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Put("acct", "lonely", randBytes(60, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	id := platterOf(t, s, "acct", "lonely")
+	if _, err := s.RebuildPlatter(id); err == nil {
+		t.Fatal("rebuild without a completed set should fail")
+	}
+	if _, err := s.RebuildPlatter(9999); err == nil {
+		t.Fatal("rebuild of unknown platter should fail")
+	}
+}
+
+func TestFailRestoreRoutesThroughRegistry(t *testing.T) {
+	cfg := smallSetConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSet(t, s, cfg)
+	id := platterOf(t, s, "acct", "bulk0")
+
+	if err := s.FailPlatter(id); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Health().Get(id)
+	if rec.Health() != repair.Failed {
+		t.Fatalf("health after fail = %v", rec.Health())
+	}
+	if err := s.RestorePlatter(id); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Health() != repair.Healthy {
+		t.Fatalf("health after restore = %v", rec.Health())
+	}
+	st := s.Stats()
+	if st.HealthTransitions < 2 {
+		t.Fatalf("health transitions = %d, want >= 2", st.HealthTransitions)
+	}
+	snap := s.Health().Snapshot()
+	if snap.Transitions["healthy->failed"] != 1 || snap.Transitions["failed->healthy"] != 1 {
+		t.Fatalf("transition counters = %v", snap.Transitions)
+	}
+}
+
+func TestDegradedReadsReportRecoveryTier(t *testing.T) {
+	cfg := smallSetConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSet(t, s, cfg)
+	id := platterOf(t, s, "acct", "bulk0")
+	if err := s.FailPlatter(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("acct", "bulk0"); err != nil {
+		t.Fatal(err)
+	}
+	var ph *repair.PlatterHealth
+	snap := s.Health().Snapshot()
+	for i := range snap.Platters {
+		if snap.Platters[i].Platter == id {
+			ph = &snap.Platters[i]
+		}
+	}
+	if ph == nil || ph.SetRecoveries == 0 {
+		t.Fatalf("set-tier reads not reported to the registry: %+v", ph)
+	}
+}
+
+func TestScrubPlatterReportsMargins(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Put("acct", "file", randBytes(7, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	platters := s.ListPlatters()
+	if len(platters) == 0 {
+		t.Fatal("no platters listed")
+	}
+	rep, err := s.ScrubPlatter(platters[0].ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TracksSampled == 0 || rep.SectorsSampled == 0 {
+		t.Fatalf("empty scrub report: %+v", rep)
+	}
+	if rep.MinMargin <= 0 || rep.MinMargin > 1 || rep.MeanMargin < rep.MinMargin {
+		t.Fatalf("margins: %+v", rep)
+	}
+	st := s.Stats()
+	if st.ScrubbedSectors != rep.SectorsSampled || st.ScrubMinMargin > rep.MinMargin {
+		t.Fatalf("scrub stats not recorded: %+v vs %+v", st, rep)
+	}
+
+	// A failed platter scrubs as unavailable rather than erroring.
+	if err := s.FailPlatter(platters[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.ScrubPlatter(platters[0].ID, 0)
+	if err != nil || !rep.Unavailable {
+		t.Fatalf("scrub of failed platter: %+v, %v", rep, err)
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"silica/internal/media"
+	"silica/internal/repair"
+)
+
+// ListPlatters enumerates published platters for the repair manager.
+func (s *Service) ListPlatters() []repair.PlatterSummary {
+	s.mu.RLock()
+	out := make([]repair.PlatterSummary, 0, len(s.platters))
+	for id, pi := range s.platters {
+		set := pi.set
+		if set >= len(s.sets) {
+			set = -1 // pending: the set has not completed yet
+		}
+		out = append(out, repair.PlatterSummary{
+			ID:          id,
+			Set:         set,
+			SetPos:      pi.setPos,
+			Redundancy:  pi.isRedundancy,
+			UsedSectors: pi.usedInfoSectors,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ScrubPlatter samples a platter's tracks through the real decode
+// stack (voxel demodulation → LDPC), the §5 health check: raw and
+// decoded error rates measured on the actual medium, no NC repair
+// masking them. Successive passes rotate the sampled window so the
+// whole platter is covered over time. maxTracks <= 0 samples every
+// used track. Published media is immutable, so scrubbing holds no
+// lock across decodes and runs concurrently with foreground reads.
+func (s *Service) ScrubPlatter(id media.PlatterID, maxTracks int) (repair.ScrubReport, error) {
+	rep := repair.ScrubReport{Platter: id, MinMargin: 1}
+	pi, ok := s.platterByID(id)
+	if !ok {
+		return rep, fmt.Errorf("service: unknown platter %d", id)
+	}
+	if pi.rec.Unavailable() {
+		rep.Unavailable = true
+		return rep, nil
+	}
+	geom := s.cfg.Geom
+	iPerTrack := geom.InfoSectorsPerTrack
+	usedTracks := (pi.usedInfoSectors + iPerTrack - 1) / iPerTrack
+	if usedTracks == 0 {
+		return rep, nil
+	}
+	if maxTracks <= 0 || maxTracks > usedTracks {
+		maxTracks = usedTracks
+	}
+	start := int(pi.scrubCursor.Add(int64(maxTracks))-int64(maxTracks)) % usedTracks
+	rng := s.rootRNG.Fork(fmt.Sprintf("scrub-%d-%d", id, s.opSeq.Add(1)))
+	var marginSum float64
+	for t := 0; t < maxTracks; t++ {
+		phys := geom.InfoTrackPhysical((start + t) % usedTracks)
+		failures := 0
+		for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
+			symbols, ok := pi.platter.ReadSector(media.SectorID{Track: phys, Sector: sPos})
+			if !ok {
+				failures++
+				continue
+			}
+			res := s.pipe.ReadSector(symbols, rng)
+			rep.SectorsSampled++
+			if !res.OK {
+				failures++
+				rep.SectorFailures++
+				continue
+			}
+			marginSum += res.Margin
+			if res.Margin < rep.MinMargin {
+				rep.MinMargin = res.Margin
+			}
+		}
+		rep.TracksSampled++
+		if failures > rep.WorstTrackFailures {
+			rep.WorstTrackFailures = failures
+		}
+		if failures > geom.RedundancySectorsPerTrack {
+			rep.TracksBeyondRepair++
+		}
+	}
+	if ok := rep.SectorsSampled - rep.SectorFailures; ok > 0 {
+		rep.MeanMargin = marginSum / float64(ok)
+	}
+	s.addStats(func(st *Stats) {
+		st.ScrubbedSectors += rep.SectorsSampled
+		st.ScrubFailures += rep.SectorFailures
+		if rep.SectorsSampled > rep.SectorFailures && rep.MinMargin < st.ScrubMinMargin {
+			st.ScrubMinMargin = rep.MinMargin
+		}
+	})
+	return rep, nil
+}

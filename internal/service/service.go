@@ -32,6 +32,7 @@ import (
 	"silica/internal/media"
 	"silica/internal/metadata"
 	"silica/internal/nc"
+	"silica/internal/repair"
 	"silica/internal/sim"
 	"silica/internal/staging"
 	"silica/internal/voxel"
@@ -95,11 +96,18 @@ type Stats struct {
 	SetsCompleted      int
 	RedundancyPlatters int
 	PlattersRecycled   int
+	// Repair subsystem counters.
+	PlattersRebuilt   int     // platters replaced via set reconstruction
+	ScrubbedSectors   int     // sectors sampled by the background scrubber
+	ScrubFailures     int     // scrubbed sectors whose direct decode failed
+	ScrubMinMargin    float64 // worst decode margin seen by any scrub
+	HealthTransitions int64   // total platter health transitions (snapshot)
+	DegradedSets      int     // completed sets with >=1 unavailable member (snapshot)
 }
 
 // platterInfo is the in-memory media plus caches. Everything except
-// failed and the flush-owned payload cache is immutable once the
-// platter is published in Service.platters.
+// the health record and the flush-owned payload cache is immutable
+// once the platter is published in Service.platters.
 type platterInfo struct {
 	platter *media.Platter
 	// payloads caches info-sector payloads (post-encryption) until the
@@ -108,10 +116,16 @@ type platterInfo struct {
 	payloads [][]byte
 	// usedInfoSectors counts payload slots filled.
 	usedInfoSectors int
-	failed          atomic.Bool // simulated unavailability
-	set             int         // platter-set index, -1 until assigned (guarded by mu)
-	setPos          int         // unit index within the set (info then red)
-	isRedundancy    bool
+	// rec is the platter's entry in the health registry; the read path
+	// consults rec.Unavailable() (atomic) instead of a private flag, so
+	// failures — injected, scrub-detected, or operator-declared — are
+	// observable and feed the repair subsystem.
+	rec          *repair.Record
+	set          int // platter-set index, -1 until assigned (guarded by mu)
+	setPos       int // unit index within the set (info then red)
+	isRedundancy bool
+	// scrubCursor rotates the scrubber's track window across passes.
+	scrubCursor atomic.Int64
 }
 
 // Service is the storage front end.
@@ -119,9 +133,10 @@ type Service struct {
 	cfg  Config
 	pipe *voxel.SectorPipeline
 
-	keys *keystore.Store
-	meta *metadata.Store
-	tier *staging.Tier
+	keys   *keystore.Store
+	meta   *metadata.Store
+	tier   *staging.Tier
+	health *repair.Registry
 
 	withinTrack *nc.Group
 	largeGroup  *nc.Group
@@ -183,12 +198,14 @@ func New(cfg Config) (*Service, error) {
 		keys:        keystore.New(),
 		meta:        metadata.NewStore(),
 		tier:        staging.NewTier(cfg.StagingCapacity),
+		health:      repair.NewRegistry(),
 		withinTrack: wt,
 		largeGroup:  lg,
 		setGroup:    sg,
 		platters:    make(map[media.PlatterID]*platterInfo),
 	}
 	s.stats.MinVerifyMargin = 1
+	s.stats.ScrubMinMargin = 1
 	return s, nil
 }
 
@@ -205,11 +222,34 @@ func (s *Service) Stats() Stats {
 	st := s.stats
 	s.statsMu.Unlock()
 	st.Files = s.meta.Files()
+	st.HealthTransitions = s.health.TransitionTotal()
+	st.DegradedSets = s.DegradedSets()
 	return st
 }
 
 // Metadata exposes the metadata service (read-only use expected).
 func (s *Service) Metadata() *metadata.Store { return s.meta }
+
+// Health exposes the platter health registry.
+func (s *Service) Health() *repair.Registry { return s.health }
+
+// DegradedSets counts completed platter-sets with at least one
+// unavailable member: sets that have lost redundancy and need a
+// rebuild before they can absorb another failure.
+func (s *Service) DegradedSets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	degraded := 0
+	for _, members := range s.sets {
+		for _, id := range members {
+			if pi := s.platters[id]; pi == nil || pi.rec.Unavailable() {
+				degraded++
+				break
+			}
+		}
+	}
+	return degraded
+}
 
 // StagedBytes reports bytes waiting in the staging tier.
 func (s *Service) StagedBytes() int64 { return s.tier.Used() }
@@ -286,22 +326,23 @@ func (s *Service) platterByID(id media.PlatterID) (*platterInfo, bool) {
 }
 
 // FailPlatter marks a platter unavailable (a blast-zone or drive
-// failure stand-in) so reads exercise cross-platter recovery.
+// failure stand-in) so reads exercise cross-platter recovery. The
+// failure is routed through the health registry — observable in
+// /v1/health/platters and picked up by the background scrubber, which
+// queues the platter for automated rebuild.
 func (s *Service) FailPlatter(id media.PlatterID) error {
-	pi, ok := s.platterByID(id)
-	if !ok {
+	if _, ok := s.platterByID(id); !ok {
 		return fmt.Errorf("service: unknown platter %d", id)
 	}
-	pi.failed.Store(true)
-	return nil
+	return s.health.Transition(id, repair.Failed, "injected failure")
 }
 
-// RestorePlatter clears a simulated failure.
+// RestorePlatter clears a simulated failure through the registry. It
+// fails if the platter was already rebuilt (retired) or a rebuild is
+// in flight.
 func (s *Service) RestorePlatter(id media.PlatterID) error {
-	pi, ok := s.platterByID(id)
-	if !ok {
+	if _, ok := s.platterByID(id); !ok {
 		return fmt.Errorf("service: unknown platter %d", id)
 	}
-	pi.failed.Store(false)
-	return nil
+	return s.health.Transition(id, repair.Healthy, "failure cleared")
 }

@@ -153,9 +153,6 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 	rng := s.writeRNG(id)
 	p := media.NewPlatter(id, geom)
 	pi := &platterInfo{platter: p, set: -1}
-	if err := p.Transition(media.Writing); err != nil {
-		return -1, err
-	}
 
 	// Assemble info-sector payloads in plan order.
 	iPerTrack := geom.InfoSectorsPerTrack
@@ -190,54 +187,7 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 	pi.payloads = payloads
 	pi.usedInfoSectors = plan.SectorsUsed
 
-	// Write info tracks with within-track redundancy.
-	for it := 0; it < usedTracks; it++ {
-		info := payloads[it*iPerTrack : (it+1)*iPerTrack]
-		red, err := s.withinTrack.EncodeRedundancy(info)
-		if err != nil {
-			return -1, err
-		}
-		phys := geom.InfoTrackPhysical(it)
-		if err := s.writeTrack(p, phys, info, red); err != nil {
-			return -1, err
-		}
-		s.addStats(func(st *Stats) {
-			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
-		})
-	}
-	// Large-group redundancy tracks over every group touched. Unused
-	// member tracks are implicitly zero.
-	lgi := geom.LargeGroupInfoTracks
-	for g := 0; g*lgi < usedTracks; g++ {
-		members := make([][]byte, 0, lgi)
-		zero := make([]byte, geom.SectorPayloadBytes)
-		for sPos := 0; sPos < iPerTrack; sPos++ {
-			members = members[:0]
-			for m := 0; m < lgi; m++ {
-				it := g*lgi + m
-				if it < usedTracks {
-					members = append(members, payloads[it*iPerTrack+sPos])
-				} else {
-					members = append(members, zero)
-				}
-			}
-			red, err := s.largeGroup.EncodeRedundancy(members)
-			if err != nil {
-				return -1, err
-			}
-			for j, unit := range red {
-				phys := geom.LargeGroupRedTrack(g, j)
-				if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
-					return -1, err
-				}
-				s.addStats(func(st *Stats) {
-					st.RedundancyBytes += int64(geom.SectorPayloadBytes)
-				})
-			}
-		}
-	}
-
-	if err := p.Transition(media.Written); err != nil {
+	if err := s.burnPlatter(pi, payloads); err != nil {
 		return -1, err
 	}
 	// Verification: full read-back through the real read path (§3.1).
@@ -258,11 +208,86 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 		st.PlattersWritten++
 		st.BytesStored += int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes)
 	})
+	s.publishPlatter(id, pi, "published")
+	s.addToSet(id, pi)
+	return id, nil
+}
+
+// publishPlatter registers the platter as healthy in the repair
+// registry and makes it visible to readers.
+func (s *Service) publishPlatter(id media.PlatterID, pi *platterInfo, reason string) {
+	pi.rec = s.health.Register(id, reason)
 	s.mu.Lock()
 	s.platters[id] = pi
 	s.mu.Unlock()
-	s.addToSet(id, pi)
-	return id, nil
+}
+
+// burnPlatter writes payload sectors onto pi.platter through the full
+// encode stack: information tracks with within-track redundancy, then
+// large-group redundancy tracks over every group touched (member
+// tracks past the payload are implicitly zero; a payload tail shorter
+// than a track is zero-padded). The flush pipeline, the platter-set
+// closer, and the rebuilder all burn media through this one helper, so
+// every platter — fresh, redundancy, or replacement — shares a single
+// layout.
+func (s *Service) burnPlatter(pi *platterInfo, payloads [][]byte) error {
+	geom := s.cfg.Geom
+	p := pi.platter
+	if err := p.Transition(media.Writing); err != nil {
+		return err
+	}
+	iPerTrack := geom.InfoSectorsPerTrack
+	usedTracks := (len(payloads) + iPerTrack - 1) / iPerTrack
+	zero := make([]byte, geom.SectorPayloadBytes)
+	sector := func(idx int) []byte {
+		if idx < len(payloads) && payloads[idx] != nil {
+			return payloads[idx]
+		}
+		return zero
+	}
+	for it := 0; it < usedTracks; it++ {
+		info := make([][]byte, iPerTrack)
+		for k := range info {
+			info[k] = sector(it*iPerTrack + k)
+		}
+		red, err := s.withinTrack.EncodeRedundancy(info)
+		if err != nil {
+			return err
+		}
+		if err := s.writeTrack(p, geom.InfoTrackPhysical(it), info, red); err != nil {
+			return err
+		}
+		s.addStats(func(st *Stats) {
+			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+		})
+	}
+	lgi := geom.LargeGroupInfoTracks
+	members := make([][]byte, lgi)
+	for g := 0; g*lgi < usedTracks; g++ {
+		for sPos := 0; sPos < iPerTrack; sPos++ {
+			for m := 0; m < lgi; m++ {
+				if it := g*lgi + m; it < usedTracks {
+					members[m] = sector(it*iPerTrack + sPos)
+				} else {
+					members[m] = zero
+				}
+			}
+			red, err := s.largeGroup.EncodeRedundancy(members)
+			if err != nil {
+				return err
+			}
+			for j, unit := range red {
+				phys := geom.LargeGroupRedTrack(g, j)
+				if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
+					return err
+				}
+				s.addStats(func(st *Stats) {
+					st.RedundancyBytes += int64(geom.SectorPayloadBytes)
+				})
+			}
+		}
+	}
+	return p.Transition(media.Written)
 }
 
 // effectiveShardCap is the shard size AssignFiles actually applies:
@@ -435,38 +460,20 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 	for r := 0; r < s.cfg.SetRed; r++ {
 		rid := s.allocPlatterID()
 		rng := s.writeRNG(rid)
-		p := media.NewPlatter(rid, geom)
 		rpi := &platterInfo{
-			platter: p, payloads: redPayloads[r], usedInfoSectors: maxSectors,
-			set: setIdx, setPos: s.cfg.SetInfo + r, isRedundancy: true,
+			platter: media.NewPlatter(rid, geom), payloads: redPayloads[r],
+			usedInfoSectors: maxSectors,
+			set:             setIdx, setPos: s.cfg.SetInfo + r, isRedundancy: true,
 		}
-		mustTransition(p, media.Writing)
+		if err := s.burnPlatter(rpi, redPayloads[r]); err != nil {
+			// Construction guarantees shapes; treat as programmer error.
+			panic(err)
+		}
 		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
-		for it := 0; it < usedTracks; it++ {
-			info := make([][]byte, iPerTrack)
-			for k := range info {
-				idx := it*iPerTrack + k
-				if idx < maxSectors {
-					info[k] = redPayloads[r][idx]
-				} else {
-					info[k] = zero
-				}
-			}
-			wred, err := s.withinTrack.EncodeRedundancy(info)
-			if err != nil {
-				panic(err)
-			}
-			if err := s.writeTrack(p, geom.InfoTrackPhysical(it), info, wred); err != nil {
-				panic(err)
-			}
-		}
-		mustTransition(p, media.Written)
-		mustTransition(p, media.Verifying)
+		mustTransition(rpi.platter, media.Verifying)
 		s.verifyPlatter(rpi, usedTracks, rng)
-		mustTransition(p, media.Stored)
-		s.mu.Lock()
-		s.platters[rid] = rpi
-		s.mu.Unlock()
+		mustTransition(rpi.platter, media.Stored)
+		s.publishPlatter(rid, rpi, "published (set redundancy)")
 		members = append(members, rid)
 		s.addStats(func(st *Stats) {
 			st.RedundancyPlatters++
@@ -482,6 +489,9 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		s.platters[m].payloads = nil
 	}
 	s.mu.Unlock()
+	for pos, m := range members {
+		s.health.SetPlacement(m, setIdx, pos, pos >= s.cfg.SetInfo)
+	}
 	s.addStats(func(st *Stats) { st.SetsCompleted++ })
 }
 

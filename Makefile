@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke bench clean
 
 all: tier1
 
@@ -41,6 +41,17 @@ repair-smoke:
 		-object-bytes 2048 -platter-tracks 9 -kill-platter
 
 tier2: vet race smoke repair-smoke
+
+# Codec benchmarks: GF(256) kernels, per-sector encode/decode, and the
+# parallel burn/flush paths at workers=1 vs workers=GOMAXPROCS. Raw
+# `go test -json` events land in BENCH_codec.json for trend tracking.
+bench:
+	$(GO) test -json -run '^$$' \
+		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel' \
+		-benchmem ./internal/gf256/ ./internal/ldpc/ ./internal/service/ \
+		> BENCH_codec.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_codec.json \
+		| sed -e 's/"Output":"//' -e 's/\\n$$//' -e 's/\\t/\t/g'
 
 clean:
 	$(GO) clean ./...

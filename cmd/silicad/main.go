@@ -49,6 +49,7 @@ func main() {
 		scrubTracks   = flag.Int("scrub-tracks", 2, "tracks sampled per scrub pass (0 = whole platter)")
 		autoRebuild   = flag.Bool("auto-rebuild", true, "rebuild failed platters automatically")
 		noRepair      = flag.Bool("no-repair", false, "disable the background scrubber and rebuilder")
+		codecWorkers  = flag.Int("codec-workers", 0, "codec engine parallelism (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	cfg.WriteQueue = *writeQueue
 	cfg.ReadQueue = *readQueue
 	cfg.Service.StagingCapacity = *stagingCap
+	cfg.Service.CodecWorkers = *codecWorkers
 	cfg.StagingHighWatermark = *highWatermark
 	cfg.FlushBytes = *flushBytes
 	cfg.FlushAge = *flushAge

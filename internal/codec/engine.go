@@ -1,0 +1,123 @@
+// Package codec provides the parallel execution engine for Silica's
+// sector-granular hot paths. The paper's write path is embarrassingly
+// parallel by construction (§3.1: sectors are encoded independently;
+// §4.2: the decode stack scales out over sector jobs), so every
+// CPU-heavy loop in the service — per-track encode, per-sector verify
+// read-back, scrub sampling, and rebuild reconstruction — fans its
+// iterations out through one shared Engine.
+//
+// The Engine guarantees nothing about execution order, so callers keep
+// determinism the same way the rest of the repository does: every
+// iteration derives its own RNG stream (sim.RNG.Fork/ForkAt) from pure
+// seed material and writes only to its own index's results. Under that
+// discipline a loop's output is bit-identical at any worker count,
+// which the service's determinism tests assert end to end.
+package codec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine bounds the concurrency of codec work. A single Engine is
+// shared by nested fan-outs (platters → tracks → sectors): helpers are
+// admitted by a global token bucket, and the calling goroutine always
+// participates, so nesting can never deadlock and total extra
+// goroutines stay below the worker budget.
+type Engine struct {
+	workers int
+	tokens  chan struct{}
+}
+
+// NewEngine returns an engine running at most workers iterations
+// concurrently; workers <= 0 sizes the pool from GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: workers, tokens: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		e.tokens <- struct{}{}
+	}
+	return e
+}
+
+// Serial is a single-worker engine: ForEach degenerates to a plain
+// loop. Useful as a default and for determinism baselines.
+func Serial() *Engine { return NewEngine(1) }
+
+// Workers reports the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// ForEach runs fn(i) for every i in [0, n), fanning iterations across
+// the engine's workers. It returns the error of the lowest failing
+// index (remaining iterations are skipped on a best-effort basis once
+// any iteration fails). fn must confine its writes to per-index state;
+// ForEach establishes a happens-before edge between every fn call and
+// its return.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if e.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				failed.Store(true)
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+	// Recruit helpers only while tokens are free; never block waiting
+	// for one — the caller works regardless, which is what makes nested
+	// ForEach calls safe.
+	want := e.workers - 1
+	if want > n-1 {
+		want = n - 1
+	}
+recruit:
+	for h := 0; h < want; h++ {
+		select {
+		case <-e.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+				e.tokens <- struct{}{}
+			}()
+		default:
+			break recruit
+		}
+	}
+	work()
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	return err
+}

@@ -1,0 +1,49 @@
+package gf256
+
+import "testing"
+
+// BenchmarkGF256MulAddVec measures the network-coding inner loop on a
+// sector-sized payload (the tiny-geometry 1000-byte sector).
+func BenchmarkGF256MulAddVec(b *testing.B) {
+	const size = 1000
+	dst := make([]byte, size)
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i*31 + 7)
+	}
+	b.ReportAllocs()
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		MulAddVec(dst, src, byte(i%254+2))
+	}
+}
+
+// BenchmarkGF256MulAddVecXOR isolates the c==1 word-at-a-time XOR path.
+func BenchmarkGF256MulAddVecXOR(b *testing.B) {
+	const size = 1000
+	dst := make([]byte, size)
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		MulAddVec(dst, src, 1)
+	}
+}
+
+// BenchmarkGF256ScaleVec measures the row-normalization kernel used by
+// Gauss-Jordan decode solves.
+func BenchmarkGF256ScaleVec(b *testing.B) {
+	const size = 1000
+	dst := make([]byte, size)
+	for i := range dst {
+		dst[i] = byte(i | 1)
+	}
+	b.ReportAllocs()
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		ScaleVec(dst, byte(i%254+2))
+	}
+}

@@ -10,11 +10,17 @@
 // AES polynomial 0x11b would not work here: x has order 51 in it.)
 package gf256
 
+import "encoding/binary"
+
 const poly = 0x11d
 
 var (
 	expTable [512]byte // doubled so mul can skip a mod
 	logTable [256]byte
+	// mulTable[c] is the full 256-byte row c*x for every x: one L1-resident
+	// table lookup per byte on the vector hot paths, instead of two log
+	// lookups, an add, and an exp lookup. 64 KiB total, built once.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -29,6 +35,26 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		row := &mulTable[c]
+		lc := int(logTable[c])
+		for v := 1; v < 256; v++ {
+			row[v] = expTable[lc+int(logTable[v])]
+		}
+	}
+}
+
+// xorWords computes dst[i] ^= src[i] eight bytes at a time.
+func xorWords(dst, src []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
 	}
 }
 
@@ -87,16 +113,23 @@ func MulAddVec(dst, src []byte, c byte) {
 		return
 	}
 	if c == 1 {
-		for i := range dst {
-			dst[i] ^= src[i]
-		}
+		xorWords(dst, src)
 		return
 	}
-	lc := int(logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[lc+int(logTable[s])]
-		}
+	mt := &mulTable[c]
+	// Unrolled by 4: the table lookups are independent, so the CPU can
+	// overlap them; bounds checks are hoisted by the s4 slicing.
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		s4 := src[i : i+4 : i+4]
+		d4 := dst[i : i+4 : i+4]
+		d4[0] ^= mt[s4[0]]
+		d4[1] ^= mt[s4[1]]
+		d4[2] ^= mt[s4[2]]
+		d4[3] ^= mt[s4[3]]
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= mt[src[i]]
 	}
 }
 
@@ -111,11 +144,9 @@ func ScaleVec(dst []byte, c byte) {
 		}
 		return
 	}
-	lc := int(logTable[c])
+	mt := &mulTable[c]
 	for i, d := range dst {
-		if d != 0 {
-			dst[i] = expTable[lc+int(logTable[d])]
-		}
+		dst[i] = mt[d]
 	}
 }
 
@@ -175,21 +206,30 @@ func MulMat(a, b *Matrix) *Matrix {
 
 // MulVec returns m * v as a new vector.
 func (m *Matrix) MulVec(v []byte) []byte {
+	out := make([]byte, m.Rows)
+	m.MulVecInto(v, out)
+	return out
+}
+
+// MulVecInto computes dst = m * v without allocating; dst must have
+// length m.Rows.
+func (m *Matrix) MulVecInto(v, dst []byte) {
 	if len(v) != m.Cols {
 		panic("gf256: MulVec dimension mismatch")
 	}
-	out := make([]byte, m.Rows)
+	if len(dst) != m.Rows {
+		panic("gf256: MulVecInto destination length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var acc byte
 		for j, c := range row {
-			if c != 0 && v[j] != 0 {
-				acc ^= Mul(c, v[j])
+			if c != 0 {
+				acc ^= mulTable[c][v[j]]
 			}
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
 }
 
 // Invert returns the inverse of a square matrix via Gauss-Jordan

@@ -1,0 +1,67 @@
+package ldpc
+
+import (
+	"testing"
+
+	"silica/internal/sim"
+)
+
+// benchCodec is the service's default sector shape: a 1000-byte payload
+// over a rate-3/4 (512, 384) code.
+func benchCodec(b *testing.B) *SectorCodec {
+	b.Helper()
+	code, err := NewCode(512, 384, 0xbeef^1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := NewSectorCodec(code, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// BenchmarkEncodeSector measures the steady-state per-sector encode:
+// framing + CRC + systematic LDPC encoding into a reused bit buffer.
+func BenchmarkEncodeSector(b *testing.B) {
+	sc := benchCodec(b)
+	rng := sim.NewRNG(3)
+	payload := make([]byte, sc.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	dst := make([]uint8, sc.EncodedBits())
+	b.ReportAllocs()
+	b.SetBytes(int64(sc.PayloadBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.EncodeSectorInto(payload, dst)
+	}
+}
+
+// BenchmarkDecodeSector measures the steady-state per-sector decode at
+// a light error load (hard LLRs with a few flipped bits per block), the
+// common case on a healthy platter.
+func BenchmarkDecodeSector(b *testing.B) {
+	sc := benchCodec(b)
+	rng := sim.NewRNG(4)
+	payload := make([]byte, sc.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	coded := sc.EncodeSector(payload)
+	rx := append([]uint8(nil), coded...)
+	for k := 0; k < sc.Blocks()*2; k++ {
+		rx[rng.Intn(len(rx))] ^= 1
+	}
+	llr := HardLLR(rx, 4)
+	b.ReportAllocs()
+	b.SetBytes(int64(sc.PayloadBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.DecodeSector(llr, 50)
+		if !res.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}

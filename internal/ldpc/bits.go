@@ -36,27 +36,39 @@ func (b bitset) clone() bitset {
 // BytesToBits unpacks bytes LSB-first into a 0/1 slice of length 8*len(p).
 func BytesToBits(p []byte) []uint8 {
 	out := make([]uint8, 8*len(p))
+	BytesToBitsInto(p, out)
+	return out
+}
+
+// BytesToBitsInto unpacks bytes LSB-first into out, which must hold at
+// least 8*len(p) entries.
+func BytesToBitsInto(p []byte, out []uint8) {
 	for i, b := range p {
 		for j := 0; j < 8; j++ {
 			out[i*8+j] = uint8(b >> uint(j) & 1)
 		}
 	}
-	return out
 }
 
 // BitsToBytes packs a 0/1 slice LSB-first. len(bits) must be a multiple
 // of 8.
 func BitsToBytes(bits []uint8) []byte {
+	out := make([]byte, len(bits)/8)
+	BitsToBytesInto(bits, out)
+	return out
+}
+
+// BitsToBytesInto packs a 0/1 slice LSB-first into out. len(bits) must
+// be a multiple of 8 and out must hold len(bits)/8 bytes.
+func BitsToBytesInto(bits []uint8, out []byte) {
 	if len(bits)%8 != 0 {
 		panic("ldpc: bit count not byte aligned")
 	}
-	out := make([]byte, len(bits)/8)
-	for i := range out {
+	for i := range out[:len(bits)/8] {
 		var b byte
 		for j := 0; j < 8; j++ {
 			b |= byte(bits[i*8+j]&1) << uint(j)
 		}
 		out[i] = b
 	}
-	return out
 }

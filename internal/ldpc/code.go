@@ -3,6 +3,7 @@ package ldpc
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"silica/internal/sim"
 )
@@ -27,7 +28,68 @@ type Code struct {
 	dataPos   []int // message bit -> codeword position
 	parityPos []int // parity bit -> codeword position
 	posIsData []bool
+
+	// Decode acceleration, built once at construction. BP messages live
+	// in flat arrays indexed by edge; edgeOff[ci] is the first edge of
+	// check ci, and varEdge[varOff[v]:varOff[v+1]] lists the edges
+	// incident to variable v. Flat storage keeps the inner loops
+	// cache-friendly and lets one pooled scratch serve every decode.
+	edgeOff []int32 // len M+1: prefix offsets into the edge arrays
+	varOff  []int32 // len N+1: prefix offsets into varEdge
+	varEdge []int32 // len E: edge indices grouped by variable
+	edges   int     // E: total edge count
+
+	scratch sync.Pool // *bpScratch, sized for this code
 }
+
+// buildDecodeIndex flattens the Tanner graph into the edge-indexed
+// arrays the BP decoder iterates over.
+func (c *Code) buildDecodeIndex() {
+	c.edgeOff = make([]int32, c.M+1)
+	for ci, vars := range c.checkVars {
+		c.edgeOff[ci+1] = c.edgeOff[ci] + int32(len(vars))
+	}
+	c.edges = int(c.edgeOff[c.M])
+	c.varOff = make([]int32, c.N+1)
+	for _, vars := range c.checkVars {
+		for _, v := range vars {
+			c.varOff[v+1]++
+		}
+	}
+	for v := 0; v < c.N; v++ {
+		c.varOff[v+1] += c.varOff[v]
+	}
+	c.varEdge = make([]int32, c.edges)
+	fill := append([]int32(nil), c.varOff[:c.N]...)
+	for ci, vars := range c.checkVars {
+		off := c.edgeOff[ci]
+		for e, v := range vars {
+			c.varEdge[fill[v]] = off + int32(e)
+			fill[v]++
+		}
+	}
+}
+
+// bpScratch is the per-decode working set, recycled through Code.scratch
+// so steady-state decoding allocates nothing.
+type bpScratch struct {
+	v2c  []float64 // variable→check messages, edge-indexed
+	c2v  []float64 // check→variable messages, edge-indexed
+	hard []uint8   // hard decision, length N
+}
+
+func (c *Code) getScratch() *bpScratch {
+	if sc, ok := c.scratch.Get().(*bpScratch); ok {
+		return sc
+	}
+	return &bpScratch{
+		v2c:  make([]float64, c.edges),
+		c2v:  make([]float64, c.edges),
+		hard: make([]uint8, c.N),
+	}
+}
+
+func (c *Code) putScratch(sc *bpScratch) { c.scratch.Put(sc) }
 
 // NewCode constructs an LDPC code with block length n and dimension k
 // (so m = n-k checks), column weight 3, from the given seed. It retries
@@ -190,7 +252,7 @@ func tryConstruct(n, k, colWeight int, rng *sim.RNG) (*Code, bool) {
 	for _, c := range dataPos {
 		posIsData[c] = true
 	}
-	return &Code{
+	c := &Code{
 		N: n, K: k, M: m, ColWeight: colWeight,
 		checkVars: checkVars,
 		varChecks: varChecks,
@@ -198,7 +260,9 @@ func tryConstruct(n, k, colWeight int, rng *sim.RNG) (*Code, bool) {
 		dataPos:   dataPos,
 		parityPos: pivotCol,
 		posIsData: posIsData,
-	}, true
+	}
+	c.buildDecodeIndex()
+	return c, true
 }
 
 // Rate reports K/N.
@@ -206,10 +270,19 @@ func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
 
 // Encode maps a K-bit message to an N-bit codeword (values 0/1).
 func (c *Code) Encode(msg []uint8) []uint8 {
+	cw := make([]uint8, c.N)
+	c.EncodeInto(msg, cw)
+	return cw
+}
+
+// EncodeInto encodes msg into cw (length N) without allocating.
+func (c *Code) EncodeInto(msg, cw []uint8) {
 	if len(msg) != c.K {
 		panic(fmt.Sprintf("ldpc: message length %d, want %d", len(msg), c.K))
 	}
-	cw := make([]uint8, c.N)
+	if len(cw) != c.N {
+		panic(fmt.Sprintf("ldpc: codeword buffer length %d, want %d", len(cw), c.N))
+	}
 	for i, pos := range c.dataPos {
 		cw[pos] = msg[i] & 1
 	}
@@ -228,16 +301,23 @@ func (c *Code) Encode(msg []uint8) []uint8 {
 		}
 		cw[c.parityPos[i]] = parity
 	}
-	return cw
 }
 
 // Extract returns the K message bits embedded in an N-bit codeword.
 func (c *Code) Extract(cw []uint8) []uint8 {
 	msg := make([]uint8, c.K)
+	c.ExtractInto(cw, msg)
+	return msg
+}
+
+// ExtractInto copies the K message bits of cw into msg (length K).
+func (c *Code) ExtractInto(cw, msg []uint8) {
+	if len(msg) != c.K {
+		panic(fmt.Sprintf("ldpc: message buffer length %d, want %d", len(msg), c.K))
+	}
 	for i, pos := range c.dataPos {
 		msg[i] = cw[pos] & 1
 	}
-	return msg
 }
 
 // SyndromeOK reports whether every parity check is satisfied.

@@ -19,41 +19,39 @@ const minSumScale = 0.75
 // way; OK distinguishes success from decoder failure (which the caller
 // treats as a sector erasure handled by network coding, per §5).
 func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
+	sc := c.getScratch()
+	res := c.decodeBP(llr, maxIter, sc)
+	bits := make([]uint8, c.N)
+	copy(bits, res.Bits)
+	res.Bits = bits
+	c.putScratch(sc)
+	return res
+}
+
+// decodeBP is DecodeBP on caller-owned scratch: the returned Bits alias
+// sc.hard and are only valid until the scratch is reused or released.
+// SectorCodec.DecodeSector uses this to run every block of a sector
+// through one scratch without per-block allocation.
+func (c *Code) decodeBP(llr []float64, maxIter int, sc *bpScratch) DecodeResult {
 	if len(llr) != c.N {
 		panic("ldpc: LLR length mismatch")
 	}
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	// Messages are stored per (check, edge) in check order.
-	// varToCheck[ci][e]: message from variable checkVars[ci][e] to check ci.
-	varToCheck := make([][]float64, c.M)
-	checkToVar := make([][]float64, c.M)
+	v2c, c2v, hard := sc.v2c, sc.c2v, sc.hard
 	for ci, vars := range c.checkVars {
-		varToCheck[ci] = make([]float64, len(vars))
-		checkToVar[ci] = make([]float64, len(vars))
+		off := c.edgeOff[ci]
 		for e, v := range vars {
-			varToCheck[ci][e] = llr[v]
+			v2c[off+int32(e)] = llr[v]
 		}
 	}
-	// Per-variable: list of (check, edge) to find incoming messages.
-	type edgeRef struct{ check, edge int32 }
-	varEdges := make([][]edgeRef, c.N)
-	for ci, vars := range c.checkVars {
-		for e, v := range vars {
-			varEdges[v] = append(varEdges[v], edgeRef{int32(ci), int32(e)})
-		}
-	}
-
-	hard := make([]uint8, c.N)
-	posterior := make([]float64, c.N)
 	decide := func() {
 		for v := 0; v < c.N; v++ {
 			sum := llr[v]
-			for _, er := range varEdges[v] {
-				sum += checkToVar[er.check][er.edge]
+			for _, ei := range c.varEdge[c.varOff[v]:c.varOff[v+1]] {
+				sum += c2v[ei]
 			}
-			posterior[v] = sum
 			if sum < 0 {
 				hard[v] = 1
 			} else {
@@ -65,8 +63,9 @@ func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
 	for iter := 1; iter <= maxIter; iter++ {
 		// Check node update (normalized min-sum).
 		for ci := range c.checkVars {
-			in := varToCheck[ci]
-			out := checkToVar[ci]
+			off, end := c.edgeOff[ci], c.edgeOff[ci+1]
+			in := v2c[off:end]
+			out := c2v[off:end]
 			// Find min and second-min of |in|, and the sign product.
 			min1, min2 := math.Inf(1), math.Inf(1)
 			min1Idx := -1
@@ -99,11 +98,12 @@ func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
 		// Variable node update.
 		for v := 0; v < c.N; v++ {
 			total := llr[v]
-			for _, er := range varEdges[v] {
-				total += checkToVar[er.check][er.edge]
+			edges := c.varEdge[c.varOff[v]:c.varOff[v+1]]
+			for _, ei := range edges {
+				total += c2v[ei]
 			}
-			for _, er := range varEdges[v] {
-				varToCheck[er.check][er.edge] = total - checkToVar[er.check][er.edge]
+			for _, ei := range edges {
+				v2c[ei] = total - c2v[ei]
 			}
 		}
 		decide()

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // SectorCodec frames a glass sector: a user payload plus a CRC32 is
@@ -11,13 +12,27 @@ import (
 // paper's "per-sector checksums to verify that the result of the LDPC
 // decode procedure is correct" (§5); a failed CRC or failed BP decode
 // turns the sector into an erasure for the network-coding layer above.
+//
+// A SectorCodec is safe for concurrent use: the codec engine drives one
+// shared instance from every worker, with per-call working memory drawn
+// from an internal pool so steady-state encode/decode does not allocate.
 type SectorCodec struct {
 	Code         *Code
 	PayloadBytes int // user bytes per sector
 	blocks       int // LDPC codewords per sector
+
+	scratch sync.Pool // *sectorScratch
 }
 
 const crcBytes = 4
+
+// sectorScratch is the per-call working set of one sector encode or
+// decode, recycled through SectorCodec.scratch.
+type sectorScratch struct {
+	framed  []byte  // PayloadBytes + crcBytes
+	msgBits []uint8 // blocks * K message bits
+	bp      *bpScratch
+}
 
 // NewSectorCodec wraps code to carry payloadBytes of user data per
 // sector.
@@ -29,6 +44,19 @@ func NewSectorCodec(code *Code, payloadBytes int) (*SectorCodec, error) {
 	blocks := (totalBits + code.K - 1) / code.K
 	return &SectorCodec{Code: code, PayloadBytes: payloadBytes, blocks: blocks}, nil
 }
+
+func (sc *SectorCodec) getScratch() *sectorScratch {
+	if ss, ok := sc.scratch.Get().(*sectorScratch); ok {
+		return ss
+	}
+	return &sectorScratch{
+		framed:  make([]byte, sc.PayloadBytes+crcBytes),
+		msgBits: make([]uint8, sc.blocks*sc.Code.K),
+		bp:      sc.Code.getScratch(),
+	}
+}
+
+func (sc *SectorCodec) putScratch(ss *sectorScratch) { sc.scratch.Put(ss) }
 
 // Blocks reports the number of LDPC codewords per sector.
 func (sc *SectorCodec) Blocks() int { return sc.blocks }
@@ -45,21 +73,35 @@ func (sc *SectorCodec) StorageOverhead() float64 {
 // EncodeSector maps payload (exactly PayloadBytes long) to the sector's
 // coded bits (length EncodedBits).
 func (sc *SectorCodec) EncodeSector(payload []byte) []uint8 {
+	return sc.EncodeSectorInto(payload, make([]uint8, sc.EncodedBits()))
+}
+
+// EncodeSectorInto encodes payload into dst, which must have length
+// EncodedBits. It returns dst and does not allocate in steady state.
+func (sc *SectorCodec) EncodeSectorInto(payload []byte, dst []uint8) []uint8 {
 	if len(payload) != sc.PayloadBytes {
 		panic(fmt.Sprintf("ldpc: payload %d bytes, want %d", len(payload), sc.PayloadBytes))
 	}
-	framed := make([]byte, sc.PayloadBytes+crcBytes)
-	copy(framed, payload)
-	binary.LittleEndian.PutUint32(framed[sc.PayloadBytes:], crc32.ChecksumIEEE(payload))
-	bits := BytesToBits(framed)
-	// Zero-pad to a whole number of messages.
-	msgBits := make([]uint8, sc.blocks*sc.Code.K)
-	copy(msgBits, bits)
-	out := make([]uint8, 0, sc.EncodedBits())
-	for b := 0; b < sc.blocks; b++ {
-		out = append(out, sc.Code.Encode(msgBits[b*sc.Code.K:(b+1)*sc.Code.K])...)
+	if len(dst) != sc.EncodedBits() {
+		panic(fmt.Sprintf("ldpc: coded buffer %d bits, want %d", len(dst), sc.EncodedBits()))
 	}
-	return out
+	ss := sc.getScratch()
+	copy(ss.framed, payload)
+	binary.LittleEndian.PutUint32(ss.framed[sc.PayloadBytes:], crc32.ChecksumIEEE(payload))
+	// Unpack into message bits, zero-padding to a whole number of
+	// messages (the scratch tail must be re-zeroed: pooled buffers keep
+	// the previous sector's padding region intact, but the region before
+	// it is fully overwritten by BytesToBitsInto).
+	framedBits := len(ss.framed) * 8
+	BytesToBitsInto(ss.framed, ss.msgBits)
+	for i := framedBits; i < len(ss.msgBits); i++ {
+		ss.msgBits[i] = 0
+	}
+	for b := 0; b < sc.blocks; b++ {
+		sc.Code.EncodeInto(ss.msgBits[b*sc.Code.K:(b+1)*sc.Code.K], dst[b*sc.Code.N:(b+1)*sc.Code.N])
+	}
+	sc.putScratch(ss)
+	return dst
 }
 
 // SectorDecode is the outcome of decoding one sector.
@@ -77,6 +119,8 @@ type SectorDecode struct {
 
 // DecodeSector decodes a sector from per-bit channel LLRs (length
 // EncodedBits). It runs BP on each block and then verifies the CRC.
+// Only the returned Payload is freshly allocated; all decoder working
+// memory is pooled.
 func (sc *SectorCodec) DecodeSector(llr []float64, maxIter int) SectorDecode {
 	if len(llr) != sc.EncodedBits() {
 		panic(fmt.Sprintf("ldpc: llr length %d, want %d", len(llr), sc.EncodedBits()))
@@ -84,12 +128,12 @@ func (sc *SectorCodec) DecodeSector(llr []float64, maxIter int) SectorDecode {
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	msgBits := make([]uint8, 0, sc.blocks*sc.Code.K)
+	ss := sc.getScratch()
 	worst := 0
 	total := 0
 	failed := -1
 	for b := 0; b < sc.blocks; b++ {
-		res := sc.Code.DecodeBP(llr[b*sc.Code.N:(b+1)*sc.Code.N], maxIter)
+		res := sc.Code.decodeBP(llr[b*sc.Code.N:(b+1)*sc.Code.N], maxIter, ss.bp)
 		total += res.Iterations
 		if !res.OK && failed < 0 {
 			failed = b
@@ -97,17 +141,18 @@ func (sc *SectorCodec) DecodeSector(llr []float64, maxIter int) SectorDecode {
 		if res.Iterations > worst {
 			worst = res.Iterations
 		}
-		msgBits = append(msgBits, sc.Code.Extract(res.Bits)...)
+		sc.Code.ExtractInto(res.Bits, ss.msgBits[b*sc.Code.K:(b+1)*sc.Code.K])
 	}
-	framedBits := msgBits[:(sc.PayloadBytes+crcBytes)*8]
-	framed := BitsToBytes(framedBits)
-	payload := framed[:sc.PayloadBytes]
-	wantCRC := binary.LittleEndian.Uint32(framed[sc.PayloadBytes:])
+	framedBits := ss.msgBits[:(sc.PayloadBytes+crcBytes)*8]
+	BitsToBytesInto(framedBits, ss.framed)
+	payload := append([]byte(nil), ss.framed[:sc.PayloadBytes]...)
+	wantCRC := binary.LittleEndian.Uint32(ss.framed[sc.PayloadBytes:])
 	ok := failed < 0 && crc32.ChecksumIEEE(payload) == wantCRC
 	margin := 1 - float64(worst)/float64(maxIter)
 	if !ok {
 		margin = 0
 	}
+	sc.putScratch(ss)
 	return SectorDecode{
 		Payload:     payload,
 		OK:          ok,

@@ -127,5 +127,24 @@ func (p *Platter) ReadSector(id SectorID) ([]uint8, bool) {
 	return cp, true
 }
 
+// ReadSectorInto copies a sector's symbols into dst's storage (growing
+// it only when too small) and returns the filled slice: the pooled-
+// buffer variant of ReadSector for verify/scrub loops that read every
+// sector of a platter.
+func (p *Platter) ReadSectorInto(id SectorID, dst []uint8) ([]uint8, bool) {
+	s, ok := p.symbols[id]
+	if !ok {
+		return nil, false
+	}
+	out := dst[:0]
+	if cap(out) >= len(s) {
+		out = out[:len(s)]
+	} else {
+		out = make([]uint8, len(s))
+	}
+	copy(out, s)
+	return out, true
+}
+
 // WrittenSectors reports how many sectors hold data.
 func (p *Platter) WrittenSectors() int { return len(p.symbols) }

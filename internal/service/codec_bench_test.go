@@ -1,0 +1,84 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"silica/internal/media"
+)
+
+// benchWorkerCounts compares the serial baseline against the full
+// engine, the ISSUE's headline measurement (>=4x at 8 cores).
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+func benchService(b *testing.B, workers int) *Service {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.CodecWorkers = workers
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkBurnPlatter measures the full platter encode path (payload
+// assembly excluded): within-track NC, LDPC, modulation, and media
+// writes for every track of a platter.
+func BenchmarkBurnPlatter(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchService(b, workers)
+			geom := s.cfg.Geom
+			fullGroups := geom.TracksPerPlatter / (geom.LargeGroupInfoTracks + geom.LargeGroupRedTracks)
+			sectors := fullGroups * geom.LargeGroupInfoTracks * geom.InfoSectorsPerTrack
+			payloads := make([][]byte, sectors)
+			for i := range payloads {
+				payloads[i] = randBytes(uint64(i), geom.SectorPayloadBytes)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(sectors) * int64(geom.SectorPayloadBytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pi := &platterInfo{platter: media.NewPlatter(s.allocPlatterID(), geom), set: -1}
+				if err := s.burnPlatter(pi, payloads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlushParallel measures the end-to-end flush: batching,
+// platter assembly, burn, verify read-back, and set bookkeeping, with
+// enough staged data to spread across several platters.
+func BenchmarkFlushParallel(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			const files, fileBytes = 4, 11000
+			b.ReportAllocs()
+			b.SetBytes(files * fileBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchService(b, workers)
+				s.cfg.MaxShardSectors = 8
+				for f := 0; f < files; f++ {
+					if _, err := s.Put("acct", fmt.Sprintf("bench-%d", f), randBytes(uint64(f), fileBytes)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := s.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -133,14 +133,18 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RN
 // descrambling the payload (see scramble in writepath.go). Published
 // platter media is immutable, so no lock is held across the decode.
 func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
-	symbols, ok := pi.platter.ReadSector(media.SectorID{Track: physTrack, Sector: sPos})
+	cs := s.acquireScratch()
+	defer s.releaseScratch(cs)
+	symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: physTrack, Sector: sPos}, cs.symbols)
 	if !ok {
 		return nil, false
 	}
-	res := s.pipe.ReadSector(symbols, rng)
+	res := s.pipe.ReadSectorWith(cs.sector, symbols, rng)
 	if !res.OK {
 		return nil, false
 	}
+	// res.Payload is freshly allocated by the decode, so it survives the
+	// scratch release; scramble allocates the descrambled copy.
 	return scramble(res.Payload, pi.platter.ID, physTrack, sPos), true
 }
 

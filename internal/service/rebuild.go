@@ -58,36 +58,45 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 	// within-track repair as fallback), then reconstruct the lost unit
 	// sector by sector. Members shorter than the target contribute
 	// zeros, mirroring the set-redundancy encode.
+	//
+	// The (member, sector) decode grid and the per-sector reconstruction
+	// both fan out across the codec engine; every cell forks its own
+	// noise stream from its grid position, so the rebuilt platter is
+	// identical at any worker count.
 	zero := make([]byte, geom.SectorPayloadBytes)
 	memberPayloads := make([][][]byte, len(members))
+	var active []int
 	for pos, mpi := range infos {
 		if pos == setPos || mpi == nil || mpi.rec.Unavailable() {
 			continue
 		}
+		active = append(active, pos)
+		memberPayloads[pos] = make([][]byte, used)
+	}
+	decRNG := rng.Fork("member-decode")
+	_ = s.eng.ForEach(len(active)*used, func(idx int) error {
+		pos, sec := active[idx/used], idx%used
+		mpi := infos[pos]
 		iPerTrack := geom.InfoSectorsPerTrack
 		musedTracks := (mpi.usedInfoSectors + iPerTrack - 1) / iPerTrack
-		pls := make([][]byte, used)
-		for sec := 0; sec < used; sec++ {
-			if sec/iPerTrack >= musedTracks {
-				pls[sec] = zero
-				continue
-			}
-			phys := geom.InfoTrackPhysical(sec / iPerTrack)
-			sPos := sec % iPerTrack
-			if payload, ok := s.decodeSector(mpi, phys, sPos, rng); ok {
-				pls[sec] = payload
-			} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, rng); ok {
-				pls[sec] = payload
-			}
+		pls := memberPayloads[pos]
+		if sec/iPerTrack >= musedTracks {
+			pls[sec] = zero
+			return nil
 		}
-		memberPayloads[pos] = pls
-	}
+		phys := geom.InfoTrackPhysical(sec / iPerTrack)
+		sPos := sec % iPerTrack
+		r := decRNG.ForkAt(uint64(pos), uint64(sec))
+		if payload, ok := s.decodeSector(mpi, phys, sPos, r); ok {
+			pls[sec] = payload
+		} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, r); ok {
+			pls[sec] = payload
+		}
+		return nil
+	})
 	payloads := make([][]byte, used)
-	avail := make(map[int][]byte, len(members))
-	for sec := 0; sec < used; sec++ {
-		for k := range avail {
-			delete(avail, k)
-		}
+	if err := s.eng.ForEach(used, func(sec int) error {
+		avail := make(map[int][]byte, len(members))
 		for pos, pls := range memberPayloads {
 			if pls != nil && pls[sec] != nil {
 				avail[pos] = pls[sec]
@@ -98,20 +107,23 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 			// re-encode this platter's redundancy position.
 			info, err := s.setGroup.ReconstructAll(avail)
 			if err != nil {
-				return -1, fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
+				return fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
 			}
 			red, err := s.setGroup.EncodeRedundancy(info)
 			if err != nil {
-				return -1, err
+				return err
 			}
 			payloads[sec] = red[setPos-s.cfg.SetInfo]
 		} else {
 			rec, err := s.setGroup.Reconstruct(avail, []int{setPos})
 			if err != nil {
-				return -1, fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
+				return fmt.Errorf("service: rebuild platter %d sector %d: %w", old, sec, err)
 			}
 			payloads[sec] = rec[setPos]
 		}
+		return nil
+	}); err != nil {
+		return -1, err
 	}
 
 	// Burn and verify the replacement exactly like a fresh platter

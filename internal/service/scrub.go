@@ -58,26 +58,55 @@ func (s *Service) ScrubPlatter(id media.PlatterID, maxTracks int) (repair.ScrubR
 	}
 	start := int(pi.scrubCursor.Add(int64(maxTracks))-int64(maxTracks)) % usedTracks
 	rng := s.rootRNG.Fork(fmt.Sprintf("scrub-%d-%d", id, s.opSeq.Add(1)))
+
+	// Sample every sector of the window in parallel; each sector forks
+	// its noise stream from (physical track, sector), so the report is
+	// identical at any worker count. The per-track tallies are reduced
+	// serially below, in window order.
+	spt := geom.SectorsPerTrack()
+	type scrubSector struct {
+		sampled bool // sector was written and read back
+		failed  bool // unwritten, or decode failed
+		margin  float64
+	}
+	results := make([]scrubSector, maxTracks*spt)
+	_ = s.eng.ForEach(len(results), func(idx int) error {
+		t, sPos := idx/spt, idx%spt
+		phys := geom.InfoTrackPhysical((start + t) % usedTracks)
+		cs := s.acquireScratch()
+		defer s.releaseScratch(cs)
+		symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
+		if !ok {
+			results[idx].failed = true
+			return nil
+		}
+		results[idx].sampled = true
+		res := s.pipe.ReadSectorWith(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)))
+		if !res.OK {
+			results[idx].failed = true
+			return nil
+		}
+		results[idx].margin = res.Margin
+		return nil
+	})
 	var marginSum float64
 	for t := 0; t < maxTracks; t++ {
-		phys := geom.InfoTrackPhysical((start + t) % usedTracks)
 		failures := 0
-		for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
-			symbols, ok := pi.platter.ReadSector(media.SectorID{Track: phys, Sector: sPos})
-			if !ok {
+		for sPos := 0; sPos < spt; sPos++ {
+			r := results[t*spt+sPos]
+			if r.sampled {
+				rep.SectorsSampled++
+			}
+			if r.failed {
 				failures++
+				if r.sampled {
+					rep.SectorFailures++
+				}
 				continue
 			}
-			res := s.pipe.ReadSector(symbols, rng)
-			rep.SectorsSampled++
-			if !res.OK {
-				failures++
-				rep.SectorFailures++
-				continue
-			}
-			marginSum += res.Margin
-			if res.Margin < rep.MinMargin {
-				rep.MinMargin = res.Margin
+			marginSum += r.margin
+			if r.margin < rep.MinMargin {
+				rep.MinMargin = r.margin
 			}
 		}
 		rep.TracksSampled++

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"silica/internal/codec"
 	"silica/internal/keystore"
 	"silica/internal/ldpc"
 	"silica/internal/media"
@@ -62,6 +63,12 @@ type Config struct {
 	// gateway's flush scheduler ages the oldest staged file against
 	// its watermark. Nil stamps everything 0.
 	ArrivalClock func() float64
+	// CodecWorkers bounds the codec engine's parallelism: how many
+	// sector-granular encode/verify/scrub/rebuild jobs run concurrently.
+	// 0 sizes the pool from GOMAXPROCS; 1 forces the serial baseline.
+	// Output is bit-identical at any worker count (every sector job
+	// forks its own RNG stream from pure seed material).
+	CodecWorkers int
 }
 
 // DefaultConfig returns an in-memory full-codec service.
@@ -132,6 +139,11 @@ type platterInfo struct {
 type Service struct {
 	cfg  Config
 	pipe *voxel.SectorPipeline
+	eng  *codec.Engine
+
+	// scratch pools the per-worker codec working sets (scramble buffer,
+	// read-back symbol buffer, voxel/LDPC scratch).
+	scratch sync.Pool
 
 	keys   *keystore.Store
 	meta   *metadata.Store
@@ -175,7 +187,7 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	codec, err := ldpc.NewSectorCodec(code, cfg.Geom.SectorPayloadBytes)
+	sectorCodec, err := ldpc.NewSectorCodec(code, cfg.Geom.SectorPayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +206,8 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:         cfg,
 		rootRNG:     sim.NewRNG(cfg.Seed).Fork("service"),
-		pipe:        voxel.NewSectorPipeline(codec, cfg.Channel),
+		pipe:        voxel.NewSectorPipeline(sectorCodec, cfg.Channel),
+		eng:         codec.NewEngine(cfg.CodecWorkers),
 		keys:        keystore.New(),
 		meta:        metadata.NewStore(),
 		tier:        staging.NewTier(cfg.StagingCapacity),
@@ -208,6 +221,29 @@ func New(cfg Config) (*Service, error) {
 	s.stats.ScrubMinMargin = 1
 	return s, nil
 }
+
+// codecScratch is one worker's reusable buffers for the sector hot
+// paths: the voxel/LDPC pipeline scratch, a scramble output buffer, and
+// a read-back symbol buffer. Pooled on the service so steady-state
+// encode, verify, and scrub allocate nothing per sector.
+type codecScratch struct {
+	sector   *voxel.SectorScratch
+	scramble []byte
+	symbols  []uint8
+}
+
+func (s *Service) acquireScratch() *codecScratch {
+	if cs, ok := s.scratch.Get().(*codecScratch); ok {
+		return cs
+	}
+	return &codecScratch{
+		sector:   s.pipe.AcquireScratch(),
+		scramble: make([]byte, s.cfg.Geom.SectorPayloadBytes),
+		symbols:  make([]uint8, s.pipe.SymbolsPerSector()),
+	}
+}
+
+func (s *Service) releaseScratch(cs *codecScratch) { s.scratch.Put(cs) }
 
 // addStats applies a mutation to the stats under their lock.
 func (s *Service) addStats(f func(*Stats)) {

@@ -3,6 +3,8 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"silica/internal/layout"
 	"silica/internal/media"
@@ -21,6 +23,13 @@ import (
 // Flushes are serialized among themselves but run concurrently with
 // Put/Get/Delete: the platter index lock is held only to allocate ids
 // and publish finished platters, never across encode or verify work.
+//
+// Within one batch the platter plans are independent (§3.1: sectors are
+// encoded in isolation), so the codec engine burns and verifies them in
+// parallel. Platter ids are allocated serially in plan order before the
+// fan-out and results are published serially in plan order after it, so
+// the platter index, set membership, and all media bytes are identical
+// at any worker count.
 func (s *Service) Flush() error {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
@@ -56,27 +65,49 @@ func (s *Service) Flush() error {
 		verified := make(map[string]bool) // fileID -> fully durable
 		extents := make(map[string][]metadata.Extent)
 		fileOf := make(map[string]*staging.File)
+		byID := make(map[string]*staging.File, len(batch))
 		for _, f := range batch {
 			verified[stageID(f)] = true
 			fileOf[stageID(f)] = f
+			byID[stageID(f)] = f
 		}
-		for _, plan := range plans {
-			id, err := s.writePlatter(plan, batch)
-			if err != nil {
-				return err
-			}
-			if id < 0 {
+
+		// Phase 1 (serial): allocate platter ids in plan order.
+		pend := make([]*pendingPlatter, len(plans))
+		for i, plan := range plans {
+			id := s.allocPlatterID()
+			pend[i] = &pendingPlatter{plan: plan, id: id, rng: s.writeRNG(id)}
+		}
+		// Phase 2 (parallel): assemble, burn, and verify each plan's
+		// platter. The platters are private until phase 3, so workers
+		// touch no shared service state beyond the stats counters.
+		if err := s.eng.ForEach(len(pend), func(i int) error {
+			return s.buildPlatter(pend[i], byID)
+		}); err != nil {
+			return err
+		}
+		// Phase 3 (serial, plan order): publish verified platters,
+		// record extents, and complete platter-sets.
+		for _, pd := range pend {
+			if !pd.ok {
 				// Verification failed: every file with a shard on this
 				// platter stays staged.
-				for _, e := range plan.Entries {
-					verified[fmt.Sprintf("%s#%d", e.Key, e.Version)] = false
+				s.addStats(func(st *Stats) { st.PlattersFaulted++ })
+				for _, e := range pd.plan.Entries {
+					verified[fileID(e.Key, e.Version)] = false
 				}
 				continue
 			}
-			for _, e := range plan.Entries {
-				fid := fmt.Sprintf("%s#%d", e.Key, e.Version)
+			s.addStats(func(st *Stats) {
+				st.PlattersWritten++
+				st.BytesStored += int64(pd.plan.SectorsUsed) * int64(s.cfg.Geom.SectorPayloadBytes)
+			})
+			s.publishPlatter(pd.id, pd.pi, "published")
+			s.addToSet(pd.id, pd.pi)
+			for _, e := range pd.plan.Entries {
+				fid := fileID(e.Key, e.Version)
 				extents[fid] = append(extents[fid], metadata.Extent{
-					Platter:     id,
+					Platter:     pd.id,
 					FirstSector: e.FirstSector,
 					SectorCount: e.SectorCount,
 					Shard:       e.Shard,
@@ -118,8 +149,14 @@ func (s *Service) Flush() error {
 	}
 }
 
+// fileID names one (key, version) pair: the identity used for staged
+// files, plan entries, and extent accumulation during a flush.
+func fileID(key metadata.FileKey, version int) string {
+	return fmt.Sprintf("%s#%d", key, version)
+}
+
 func stageID(f *staging.File) string {
-	return fmt.Sprintf("%s#%d", f.Key, f.Version)
+	return fileID(f.Key, f.Version)
 }
 
 func (s *Service) platterTargetBytes() int64 {
@@ -141,17 +178,26 @@ func (s *Service) writeRNG(id media.PlatterID) *sim.RNG {
 	return s.rootRNG.Fork(fmt.Sprintf("platter-%d", id))
 }
 
-// writePlatter pushes one plan through the write drive: modulate every
+// pendingPlatter is one plan's in-flight platter between id allocation
+// and publication.
+type pendingPlatter struct {
+	plan *layout.PlatterPlan
+	id   media.PlatterID
+	rng  *sim.RNG
+	pi   *platterInfo
+	ok   bool // burned and verified
+}
+
+// buildPlatter pushes one plan through the write drive: modulate every
 // sector into glass, then verify the whole platter through the read
-// path (§3.1). Returns the platter id, or -1 when verification deemed
-// it unrecoverable (platter faulted, data stays staged). The platter
-// is built privately and published to the index only after it
-// verifies, so concurrent reads never observe partial media.
-func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) (media.PlatterID, error) {
+// path (§3.1). On verification failure pd.ok stays false and the data
+// stays staged. The platter is built privately and published to the
+// index only after it verifies, so concurrent reads never observe
+// partial media.
+func (s *Service) buildPlatter(pd *pendingPlatter, byID map[string]*staging.File) error {
 	geom := s.cfg.Geom
-	id := s.allocPlatterID()
-	rng := s.writeRNG(id)
-	p := media.NewPlatter(id, geom)
+	plan := pd.plan
+	p := media.NewPlatter(pd.id, geom)
 	pi := &platterInfo{platter: p, set: -1}
 
 	// Assemble info-sector payloads in plan order.
@@ -161,14 +207,10 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 	for i := range payloads {
 		payloads[i] = make([]byte, geom.SectorPayloadBytes)
 	}
-	byID := make(map[string]*staging.File, len(batch))
-	for _, f := range batch {
-		byID[stageID(f)] = f
-	}
 	for _, e := range plan.Entries {
-		f := byID[fmt.Sprintf("%s#%d", e.Key, e.Version)]
+		f := byID[fileID(e.Key, e.Version)]
 		if f == nil {
-			return -1, fmt.Errorf("service: plan references unknown file %v#%d", e.Key, e.Version)
+			return fmt.Errorf("service: plan references unknown file %v#%d", e.Key, e.Version)
 		}
 		// Shard data offset: shards were cut in order, each
 		// MaxShardSectors except the last.
@@ -188,29 +230,21 @@ func (s *Service) writePlatter(plan *layout.PlatterPlan, batch []*staging.File) 
 	pi.usedInfoSectors = plan.SectorsUsed
 
 	if err := s.burnPlatter(pi, payloads); err != nil {
-		return -1, err
+		return err
 	}
 	// Verification: full read-back through the real read path (§3.1).
 	if err := p.Transition(media.Verifying); err != nil {
-		return -1, err
+		return err
 	}
-	if !s.verifyPlatter(pi, usedTracks, rng) {
-		s.addStats(func(st *Stats) { st.PlattersFaulted++ })
-		if err := p.Transition(media.Faulted); err != nil {
-			return -1, err
-		}
-		return -1, nil
+	if !s.verifyPlatter(pi, usedTracks, pd.rng) {
+		return p.Transition(media.Faulted)
 	}
 	if err := p.Transition(media.Stored); err != nil {
-		return -1, err
+		return err
 	}
-	s.addStats(func(st *Stats) {
-		st.PlattersWritten++
-		st.BytesStored += int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes)
-	})
-	s.publishPlatter(id, pi, "published")
-	s.addToSet(id, pi)
-	return id, nil
+	pd.pi = pi
+	pd.ok = true
+	return nil
 }
 
 // publishPlatter registers the platter as healthy in the repair
@@ -230,6 +264,11 @@ func (s *Service) publishPlatter(id media.PlatterID, pi *platterInfo, reason str
 // closer, and the rebuilder all burn media through this one helper, so
 // every platter — fresh, redundancy, or replacement — shares a single
 // layout.
+//
+// The per-track work (within-track NC encode, LDPC, modulation) is
+// fanned across the codec engine; only the media map insert is
+// serialized. Sector contents depend on nothing but (payload, platter
+// id, address), so the burned platter is identical at any worker count.
 func (s *Service) burnPlatter(pi *platterInfo, payloads [][]byte) error {
 	geom := s.cfg.Geom
 	p := pi.platter
@@ -245,7 +284,10 @@ func (s *Service) burnPlatter(pi *platterInfo, payloads [][]byte) error {
 		}
 		return zero
 	}
-	for it := 0; it < usedTracks; it++ {
+	var pmu sync.Mutex // serializes media sector inserts
+	err := s.eng.ForEach(usedTracks, func(it int) error {
+		cs := s.acquireScratch()
+		defer s.releaseScratch(cs)
 		info := make([][]byte, iPerTrack)
 		for k := range info {
 			info[k] = sector(it*iPerTrack + k)
@@ -254,38 +296,58 @@ func (s *Service) burnPlatter(pi *platterInfo, payloads [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if err := s.writeTrack(p, geom.InfoTrackPhysical(it), info, red); err != nil {
-			return err
-		}
-		s.addStats(func(st *Stats) {
-			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
-		})
-	}
-	lgi := geom.LargeGroupInfoTracks
-	members := make([][]byte, lgi)
-	for g := 0; g*lgi < usedTracks; g++ {
-		for sPos := 0; sPos < iPerTrack; sPos++ {
-			for m := 0; m < lgi; m++ {
-				if it := g*lgi + m; it < usedTracks {
-					members[m] = sector(it*iPerTrack + sPos)
-				} else {
-					members[m] = zero
-				}
-			}
-			red, err := s.largeGroup.EncodeRedundancy(members)
-			if err != nil {
+		phys := geom.InfoTrackPhysical(it)
+		for i, payload := range info {
+			if err := s.writeSectorScrambled(cs, &pmu, p, media.SectorID{Track: phys, Sector: i}, payload); err != nil {
 				return err
 			}
-			for j, unit := range red {
-				phys := geom.LargeGroupRedTrack(g, j)
-				if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
-					return err
-				}
-				s.addStats(func(st *Stats) {
-					st.RedundancyBytes += int64(geom.SectorPayloadBytes)
-				})
+		}
+		for j, payload := range red {
+			if err := s.writeSectorScrambled(cs, &pmu, p, media.SectorID{Track: phys, Sector: iPerTrack + j}, payload); err != nil {
+				return err
 			}
 		}
+		s.addStats(func(st *Stats) {
+			st.SectorsWritten += iPerTrack + len(red)
+			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	lgi := geom.LargeGroupInfoTracks
+	numGroups := (usedTracks + lgi - 1) / lgi
+	err = s.eng.ForEach(numGroups*iPerTrack, func(idx int) error {
+		g, sPos := idx/iPerTrack, idx%iPerTrack
+		cs := s.acquireScratch()
+		defer s.releaseScratch(cs)
+		members := make([][]byte, lgi)
+		for m := 0; m < lgi; m++ {
+			if it := g*lgi + m; it < usedTracks {
+				members[m] = sector(it*iPerTrack + sPos)
+			} else {
+				members[m] = zero
+			}
+		}
+		red, err := s.largeGroup.EncodeRedundancy(members)
+		if err != nil {
+			return err
+		}
+		for j, unit := range red {
+			phys := geom.LargeGroupRedTrack(g, j)
+			if err := s.writeSectorScrambled(cs, &pmu, p, media.SectorID{Track: phys, Sector: sPos}, unit); err != nil {
+				return err
+			}
+		}
+		s.addStats(func(st *Stats) {
+			st.SectorsWritten += len(red)
+			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
+		})
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	return p.Transition(media.Written)
 }
@@ -325,9 +387,15 @@ func (s *Service) shardExtentsBefore(plan *layout.PlatterPlan, e layout.Placemen
 // why production storage media scramble data before modulation.
 // XOR is its own inverse, so the same call descrambles.
 func scramble(payload []byte, platter media.PlatterID, track, sector int) []byte {
+	return scrambleInto(make([]byte, len(payload)), payload, platter, track, sector)
+}
+
+// scrambleInto is scramble writing into dst, which must be at least as
+// long as payload.
+func scrambleInto(dst, payload []byte, platter media.PlatterID, track, sector int) []byte {
 	seed := uint64(platter)*0x9e3779b97f4a7c15 ^ uint64(track)<<20 ^ uint64(sector)
 	r := sim.NewRNG(seed)
-	out := make([]byte, len(payload))
+	out := dst[:len(payload)]
 	for i := 0; i < len(payload); i += 8 {
 		w := r.Uint64()
 		for j := 0; j < 8 && i+j < len(payload); j++ {
@@ -337,30 +405,14 @@ func scramble(payload []byte, platter media.PlatterID, track, sector int) []byte
 	return out
 }
 
-// writeSectorScrambled scrambles, modulates, and writes one sector.
-func (s *Service) writeSectorScrambled(p *media.Platter, id media.SectorID, payload []byte) error {
-	symbols := s.pipe.WriteSector(scramble(payload, p.ID, id.Track, id.Sector))
-	if err := p.WriteSector(id, symbols); err != nil {
-		return err
-	}
-	s.addStats(func(st *Stats) { st.SectorsWritten++ })
-	return nil
-}
-
-// writeTrack modulates and writes one full track.
-func (s *Service) writeTrack(p *media.Platter, phys int, info, red [][]byte) error {
-	for i, payload := range info {
-		if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: i}, payload); err != nil {
-			return err
-		}
-	}
-	base := len(info)
-	for j, payload := range red {
-		if err := s.writeSectorScrambled(p, media.SectorID{Track: phys, Sector: base + j}, payload); err != nil {
-			return err
-		}
-	}
-	return nil
+// writeSectorScrambled scrambles, modulates, and writes one sector
+// using cs's buffers; pmu serializes the media insert.
+func (s *Service) writeSectorScrambled(cs *codecScratch, pmu *sync.Mutex, p *media.Platter, id media.SectorID, payload []byte) error {
+	symbols := s.pipe.WriteSectorWith(cs.sector, scrambleInto(cs.scramble, payload, p.ID, id.Track, id.Sector))
+	pmu.Lock()
+	err := p.WriteSector(id, symbols) // copies symbols before returning
+	pmu.Unlock()
+	return err
 }
 
 // verifyPlatter reads back every written info track through the read
@@ -368,34 +420,70 @@ func (s *Service) writeTrack(p *media.Platter, phys int, info, red [][]byte) err
 // failed sectors). It records the worst LDPC margin observed —
 // "together with the expected read error rate over time, we can
 // determine whether to record a file as durably stored" (§5).
+//
+// Sectors are verified in parallel; each derives its noise stream from
+// rng by (track, sector) index, so the outcome is independent of
+// scheduling. Per-track failure counts are reduced serially afterwards.
 func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) bool {
 	geom := s.cfg.Geom
-	for it := 0; it < usedTracks; it++ {
+	spt := geom.SectorsPerTrack()
+	n := usedTracks * spt
+	if n == 0 {
+		return true
+	}
+	type sectorVerify struct {
+		failed       bool
+		decodeFailed bool
+		margin       float64
+	}
+	results := make([]sectorVerify, n)
+	_ = s.eng.ForEach(n, func(idx int) error {
+		it, sPos := idx/spt, idx%spt
 		phys := geom.InfoTrackPhysical(it)
+		cs := s.acquireScratch()
+		defer s.releaseScratch(cs)
+		symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
+		if !ok {
+			results[idx].failed = true
+			return nil
+		}
+		res := s.pipe.ReadSectorWith(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)))
+		if !res.OK {
+			results[idx] = sectorVerify{failed: true, decodeFailed: true}
+			return nil
+		}
+		results[idx].margin = res.Margin
+		return nil
+	})
+	decodeFailures := 0
+	minMargin := math.Inf(1)
+	recoverable := true
+	for it := 0; it < usedTracks; it++ {
 		failures := 0
-		for sPos := 0; sPos < geom.SectorsPerTrack(); sPos++ {
-			symbols, ok := pi.platter.ReadSector(media.SectorID{Track: phys, Sector: sPos})
-			if !ok {
+		for sPos := 0; sPos < spt; sPos++ {
+			r := results[it*spt+sPos]
+			if r.failed {
 				failures++
-				continue
-			}
-			res := s.pipe.ReadSector(symbols, rng)
-			if !res.OK {
-				failures++
-				s.addStats(func(st *Stats) { st.VerifyFailures++ })
-				continue
-			}
-			s.addStats(func(st *Stats) {
-				if res.Margin < st.MinVerifyMargin {
-					st.MinVerifyMargin = res.Margin
+				if r.decodeFailed {
+					decodeFailures++
 				}
-			})
+				continue
+			}
+			if r.margin < minMargin {
+				minMargin = r.margin
+			}
 		}
 		if failures > geom.RedundancySectorsPerTrack {
-			return false
+			recoverable = false
 		}
 	}
-	return true
+	s.addStats(func(st *Stats) {
+		st.VerifyFailures += decodeFailures
+		if minMargin < st.MinVerifyMargin {
+			st.MinVerifyMargin = minMargin
+		}
+	})
+	return recoverable
 }
 
 // addToSet accumulates verified information platters into the pending
@@ -433,12 +521,12 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		}
 	}
 	zero := make([]byte, geom.SectorPayloadBytes)
-	units := make([][]byte, s.cfg.SetInfo)
 	redPayloads := make([][][]byte, s.cfg.SetRed)
 	for r := range redPayloads {
 		redPayloads[r] = make([][]byte, maxSectors)
 	}
-	for sec := 0; sec < maxSectors; sec++ {
+	_ = s.eng.ForEach(maxSectors, func(sec int) error {
+		units := make([][]byte, s.cfg.SetInfo)
 		for mi, mpi := range infos {
 			pls := mpi.payloads
 			if sec < len(pls) {
@@ -455,7 +543,8 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		for r := range red {
 			redPayloads[r][sec] = red[r]
 		}
-	}
+		return nil
+	})
 	setIdx := infos[0].set
 	for r := 0; r < s.cfg.SetRed; r++ {
 		rid := s.allocPlatterID()

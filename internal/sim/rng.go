@@ -41,6 +41,20 @@ func (r *RNG) Fork(name string) *RNG {
 	return NewRNG(r.seed ^ h.Sum64())
 }
 
+// ForkAt derives an independent generator from this one's seed material
+// and a pair of indices. It is the hot-path sibling of Fork: the codec
+// engine forks one stream per (track, sector) so parallel workers never
+// share generator state, and formatting a name per sector would cost
+// more than the decode it seeds. Like Fork it depends only on the seed,
+// never on consumed state, so the derived stream is identical however
+// the work is scheduled.
+func (r *RNG) ForkAt(a, b uint64) *RNG {
+	x := r.seed ^ (a+1)*0xa24baed4963ee407
+	z := splitmix64(&x)
+	x = z ^ (b+1)*0x9fb21c651e98df25
+	return NewRNG(splitmix64(&x))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

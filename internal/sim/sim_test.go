@@ -141,6 +141,32 @@ func TestRNGForkIndependence(t *testing.T) {
 	}
 }
 
+func TestRNGForkAtIndependence(t *testing.T) {
+	root := NewRNG(1)
+	a := root.ForkAt(3, 7)
+	// Consuming the parent must not change what an indexed fork yields.
+	root2 := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		root2.Uint64()
+	}
+	a2 := root2.ForkAt(3, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != a2.Uint64() {
+			t.Fatal("indexed fork stream depends on parent consumption")
+		}
+	}
+	// Nearby indices must yield distinct streams (including swapped
+	// coordinates, which a naive XOR mix would collide).
+	seen := map[uint64][2]uint64{}
+	for _, idx := range [][2]uint64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {3, 7}, {7, 3}} {
+		v := NewRNG(1).ForkAt(idx[0], idx[1]).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("ForkAt%v and ForkAt%v produced identical first draws", prev, idx)
+		}
+		seen[v] = idx
+	}
+}
+
 func TestRNGFloat64Range(t *testing.T) {
 	r := NewRNG(3)
 	err := quick.Check(func(_ int) bool {

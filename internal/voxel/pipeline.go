@@ -1,6 +1,8 @@
 package voxel
 
 import (
+	"sync"
+
 	"silica/internal/ldpc"
 	"silica/internal/sim"
 )
@@ -9,12 +11,31 @@ import (
 // LDPC-coded bits → voxel symbols → channel → soft demap → BP decode →
 // payload bytes. It is the unit the write pipeline, verification, and
 // the decode stack all share.
+//
+// The pipeline is safe for concurrent use. Hot paths run on a
+// SectorScratch — a per-worker working set recycled through an internal
+// pool — so the codec engine can fan sector jobs across cores without
+// per-sector allocation.
 type SectorPipeline struct {
 	Codec    *ldpc.SectorCodec
 	Mod      *Modulation
 	Ch       Channel
 	Demap    *Demapper
 	MaxIters int
+
+	scratch sync.Pool // *SectorScratch
+}
+
+// SectorScratch holds the reusable buffers of one in-flight sector
+// encode or decode. A scratch may be used by one goroutine at a time;
+// buffers returned by WriteSectorWith are valid until the scratch's
+// next use or release.
+type SectorScratch struct {
+	bits    []uint8   // coded bits, padded to a whole voxel count
+	symbols []uint8   // modulated symbols
+	points  []Point   // received channel observations
+	post    [][numSymbols]float64
+	llrs    []float64 // demapped bit LLRs
 }
 
 // NewSectorPipeline wires a sector codec to a channel model.
@@ -34,18 +55,62 @@ func (p *SectorPipeline) SymbolsPerSector() int {
 	return (p.Codec.EncodedBits() + BitsPerVoxel - 1) / BitsPerVoxel
 }
 
+// AcquireScratch returns a scratch from the pipeline's pool, allocating
+// only when the pool is empty.
+func (p *SectorPipeline) AcquireScratch() *SectorScratch {
+	if sc, ok := p.scratch.Get().(*SectorScratch); ok {
+		return sc
+	}
+	symbols := p.SymbolsPerSector()
+	// bits is padded to the voxel grid; the pad tail is zeroed once here
+	// and never written afterwards (EncodeSectorInto fills exactly
+	// EncodedBits), so modulation always sees zero padding.
+	return &SectorScratch{
+		bits:    make([]uint8, symbols*BitsPerVoxel),
+		symbols: make([]uint8, symbols),
+		points:  make([]Point, symbols),
+		post:    make([][numSymbols]float64, symbols),
+		llrs:    make([]float64, symbols*BitsPerVoxel),
+	}
+}
+
+// ReleaseScratch returns a scratch to the pool.
+func (p *SectorPipeline) ReleaseScratch(sc *SectorScratch) { p.scratch.Put(sc) }
+
 // WriteSector encodes a payload into the voxel symbols to be written.
+// The returned slice is freshly allocated; hot paths use WriteSectorWith.
 func (p *SectorPipeline) WriteSector(payload []byte) []uint8 {
-	bits := p.Codec.EncodeSector(payload)
-	return Modulate(PadBits(bits))
+	sc := p.AcquireScratch()
+	out := append([]uint8(nil), p.WriteSectorWith(sc, payload)...)
+	p.ReleaseScratch(sc)
+	return out
+}
+
+// WriteSectorWith encodes a payload into voxel symbols using sc's
+// buffers. The returned slice aliases sc and is valid until sc's next
+// use; callers that retain symbols (e.g. platter media) must copy.
+func (p *SectorPipeline) WriteSectorWith(sc *SectorScratch, payload []byte) []uint8 {
+	p.Codec.EncodeSectorInto(payload, sc.bits[:p.Codec.EncodedBits()])
+	ModulateInto(sc.bits, sc.symbols)
+	return sc.symbols
 }
 
 // ReadSector pushes written symbols through the read channel and
 // decodes them. rng drives the stochastic read noise.
 func (p *SectorPipeline) ReadSector(symbols []uint8, rng *sim.RNG) ldpc.SectorDecode {
-	received := p.Ch.Transmit(p.Mod, symbols, rng)
-	post := p.Demap.Posteriors(received)
-	llrs := BitLLRs(post)
+	sc := p.AcquireScratch()
+	res := p.ReadSectorWith(sc, symbols, rng)
+	p.ReleaseScratch(sc)
+	return res
+}
+
+// ReadSectorWith is ReadSector on caller-owned scratch: the channel
+// observations, posteriors, and LLR buffers are all reused, so the only
+// steady-state allocation is the decoded payload itself.
+func (p *SectorPipeline) ReadSectorWith(sc *SectorScratch, symbols []uint8, rng *sim.RNG) ldpc.SectorDecode {
+	received := p.Ch.TransmitInto(p.Mod, symbols, rng, sc.points[:0])
+	post := p.Demap.PosteriorsInto(received, sc.post[:0])
+	llrs := BitLLRsInto(post, sc.llrs[:0])
 	return p.Codec.DecodeSector(llrs[:p.Codec.EncodedBits()], p.MaxIters)
 }
 
@@ -59,9 +124,11 @@ func (p *SectorPipeline) MeasureSectorFailureRate(trials int, seed uint64) float
 		payload[i] = byte(rng.Uint64())
 	}
 	symbols := p.WriteSector(payload)
+	sc := p.AcquireScratch()
+	defer p.ReleaseScratch(sc)
 	failures := 0
 	for t := 0; t < trials; t++ {
-		if res := p.ReadSector(symbols, rng); !res.OK {
+		if res := p.ReadSectorWith(sc, symbols, rng); !res.OK {
 			failures++
 		}
 	}

@@ -66,18 +66,24 @@ func (m *Modulation) MinDistance() float64 { return 2.0 / 3 }
 // Modulate packs bits (LSB-first per symbol, len must be a multiple of
 // BitsPerVoxel) into symbols.
 func Modulate(bits []uint8) []uint8 {
+	out := make([]uint8, len(bits)/BitsPerVoxel)
+	ModulateInto(bits, out)
+	return out
+}
+
+// ModulateInto packs bits into out, which must hold
+// len(bits)/BitsPerVoxel symbols.
+func ModulateInto(bits, out []uint8) {
 	if len(bits)%BitsPerVoxel != 0 {
 		panic(fmt.Sprintf("voxel: %d bits not a multiple of %d", len(bits), BitsPerVoxel))
 	}
-	out := make([]uint8, len(bits)/BitsPerVoxel)
-	for i := range out {
+	for i := range out[:len(bits)/BitsPerVoxel] {
 		var s uint8
 		for b := 0; b < BitsPerVoxel; b++ {
 			s |= (bits[i*BitsPerVoxel+b] & 1) << uint(b)
 		}
 		out[i] = s
 	}
-	return out
 }
 
 // Demodulate unpacks symbols back to bits (hard decision helper).
@@ -131,11 +137,23 @@ func CleanChannel() Channel { return Channel{Sigma: 1e-4, Width: 64} }
 
 // Transmit converts written symbols into received observations.
 func (c Channel) Transmit(m *Modulation, symbols []uint8, rng *sim.RNG) []Point {
+	return c.TransmitInto(m, symbols, rng, nil)
+}
+
+// TransmitInto is Transmit reusing dst's storage when it is large
+// enough, so a pooled buffer can absorb the observations. Every entry
+// of the result is overwritten.
+func (c Channel) TransmitInto(m *Modulation, symbols []uint8, rng *sim.RNG, dst []Point) []Point {
 	w := c.Width
 	if w <= 0 {
 		w = 64
 	}
-	out := make([]Point, len(symbols))
+	out := dst[:0]
+	if cap(out) >= len(symbols) {
+		out = out[:len(symbols)]
+	} else {
+		out = make([]Point, len(symbols))
+	}
 	for i, s := range symbols {
 		if c.PMissing > 0 && rng.Float64() < c.PMissing {
 			// Missing voxel: background signal near origin.
@@ -205,7 +223,18 @@ func NewDemapper(m *Modulation, ch Channel) *Demapper {
 // distribution over the 16 symbols — the exact output contract of the
 // paper's ML decode stage (§3.2).
 func (d *Demapper) Posteriors(received []Point) [][numSymbols]float64 {
-	out := make([][numSymbols]float64, len(received))
+	return d.PosteriorsInto(received, nil)
+}
+
+// PosteriorsInto is Posteriors reusing dst's storage when it is large
+// enough. Every entry of the result is overwritten.
+func (d *Demapper) PosteriorsInto(received []Point, dst [][numSymbols]float64) [][numSymbols]float64 {
+	out := dst[:0]
+	if cap(out) >= len(received) {
+		out = out[:len(received)]
+	} else {
+		out = make([][numSymbols]float64, len(received))
+	}
 	inv2s2 := 1 / (2 * d.sigma * d.sigma)
 	for i, y := range received {
 		var logp [numSymbols]float64
@@ -234,8 +263,19 @@ func (d *Demapper) Posteriors(received []Point) [][numSymbols]float64 {
 // BitLLRs converts symbol posteriors to per-bit LLRs (positive favours
 // bit 0), the input format of the LDPC decoder.
 func BitLLRs(posteriors [][numSymbols]float64) []float64 {
+	return BitLLRsInto(posteriors, nil)
+}
+
+// BitLLRsInto is BitLLRs reusing dst's storage when it is large enough.
+// Every entry of the result is overwritten.
+func BitLLRsInto(posteriors [][numSymbols]float64, dst []float64) []float64 {
 	const eps = 1e-300
-	out := make([]float64, len(posteriors)*BitsPerVoxel)
+	out := dst[:0]
+	if cap(out) >= len(posteriors)*BitsPerVoxel {
+		out = out[:len(posteriors)*BitsPerVoxel]
+	} else {
+		out = make([]float64, len(posteriors)*BitsPerVoxel)
+	}
 	for i, post := range posteriors {
 		for b := 0; b < BitsPerVoxel; b++ {
 			var p0, p1 float64

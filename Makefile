@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke bench clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke bench clean
 
 all: tier1
 
@@ -41,6 +41,30 @@ repair-smoke:
 		-object-bytes 2048 -platter-tracks 9 -kill-platter
 
 tier2: vet race smoke repair-smoke
+
+# Observability smoke: start a real silicad, push one object through
+# it, scrape /metrics with silicactl, and check the exposition carries
+# every subsystem's families (gateway, staging, codec, flush, repair).
+OBS_URL := http://127.0.0.1:7171
+obs-smoke:
+	$(GO) build -o /tmp/silica-obs-smoke/ ./cmd/silicad ./cmd/silicactl
+	/tmp/silica-obs-smoke/silicad -listen 127.0.0.1:7171 & \
+	  SILICAD_PID=$$!; \
+	  trap "kill $$SILICAD_PID 2>/dev/null" EXIT; \
+	  for i in $$(seq 1 50); do \
+	    curl -sf $(OBS_URL)/v1/healthz >/dev/null && break; sleep 0.1; \
+	  done; \
+	  curl -sf -X PUT --data-binary smoke $(OBS_URL)/v1/objects/acct/obj >/dev/null; \
+	  curl -sf -X POST $(OBS_URL)/v1/flush >/dev/null; \
+	  /tmp/silica-obs-smoke/silicactl metrics -url $(OBS_URL) > /tmp/silica-obs-smoke/metrics.txt; \
+	  /tmp/silica-obs-smoke/silicactl top -url $(OBS_URL) -n 1; \
+	  for fam in silica_gateway_queue_depth silica_gateway_request_seconds \
+	             silica_staging_used_bytes silica_codec_jobs_total \
+	             silica_repair_scrubs_total silica_flush_phase_seconds; do \
+	    grep -q "^# TYPE $$fam " /tmp/silica-obs-smoke/metrics.txt \
+	      || { echo "missing metric family: $$fam"; exit 1; }; \
+	  done; \
+	  echo "obs-smoke: all metric families present"
 
 # Codec benchmarks: GF(256) kernels, per-sector encode/decode, and the
 # parallel burn/flush paths at workers=1 vs workers=GOMAXPROCS. Raw

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 
 	"silica/internal/gateway"
 	"silica/internal/media"
+	"silica/internal/obs"
 	"silica/internal/repair"
 )
 
@@ -94,12 +96,48 @@ func main() {
 
 	rep := gateway.RunLoad(api, lc)
 	fmt.Print(rep)
+	printServerPercentiles(api, g, rep)
 
 	if rep.Lost > 0 || rep.Corrupted > 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: committed objects lost or corrupted")
 		os.Exit(1)
 	}
 	fmt.Println("verification: all committed objects intact")
+}
+
+// printServerPercentiles scrapes /metrics at the end of the run and
+// prints the gateway's own request p99 (derived from its histogram
+// buckets) next to the client-observed p99, so time spent inside the
+// gateway is separable from transport and retry overhead.
+func printServerPercentiles(api gateway.API, g *gateway.Gateway, rep gateway.LoadReport) {
+	var samples []obs.PromSample
+	var err error
+	if c, ok := api.(*gateway.Client); ok {
+		samples, err = c.Metrics()
+	} else {
+		var buf bytes.Buffer
+		if err = g.Metrics().WriteProm(&buf); err == nil {
+			samples, err = obs.ParseProm(&buf)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics scrape: %v\n", err)
+		return
+	}
+	sums := rep.Latencies.Summaries()
+	fmt.Println("latency p99, server vs client:")
+	for _, class := range []string{"put", "get", "delete"} {
+		cs, ok := sums[class]
+		if !ok || cs.N == 0 {
+			continue
+		}
+		server := "-"
+		if sp, ok := obs.HistQuantile(samples, "silica_gateway_request_seconds",
+			map[string]string{"class": class}, 0.99); ok {
+			server = fmt.Sprintf("%.1fms", 1000*sp)
+		}
+		fmt.Printf("  %-7s server %8s   client %7.1fms\n", class, server, 1000*cs.P99)
+	}
 }
 
 // killSetMember waits for the first platter-set to complete, then

@@ -12,6 +12,8 @@
 //
 //	silicactl health -url http://host:7070
 //	silicactl repair -url http://host:7070 <platter-id>
+//	silicactl metrics -url http://host:7070
+//	silicactl top -url http://host:7070 -interval 1s
 package main
 
 import (
@@ -22,9 +24,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"silica/internal/gateway"
 	"silica/internal/media"
+	"silica/internal/obs"
 	"silica/internal/service"
 )
 
@@ -41,6 +45,10 @@ func main() {
 		health(os.Args[2:])
 	case "repair":
 		repairCmd(os.Args[2:])
+	case "metrics":
+		metricsCmd(os.Args[2:])
+	case "top":
+		top(os.Args[2:])
 	default:
 		usage()
 	}
@@ -53,8 +61,110 @@ func usage() {
   silicactl get  acct/name       (only meaningful within one process: see demo)
   silicactl delete acct/name
   silicactl health -url URL      platter health registry of a running silicad
-  silicactl repair -url URL ID   fail + rebuild platter ID on a running silicad`)
+  silicactl repair -url URL ID   fail + rebuild platter ID on a running silicad
+  silicactl metrics -url URL     dump a running silicad's raw /metrics text
+  silicactl top -url URL         live telemetry table from /metrics (-n 1 for one shot)`)
 	os.Exit(2)
+}
+
+// metricsCmd dumps the raw Prometheus exposition of a running daemon —
+// what a scrape job would see, and what `make obs-smoke` greps.
+func metricsCmd(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7070", "silicad base URL")
+	fs.Parse(args)
+	text, err := gateway.NewClient(*url).MetricsText()
+	check(err)
+	fmt.Print(text)
+}
+
+// top polls /metrics and renders the whole stack's telemetry as a
+// compact table: per-class queue state and request percentiles, staging
+// occupancy, codec engine load, and repair activity.
+func top(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7070", "silicad base URL")
+	interval := fs.Duration("interval", time.Second, "refresh period")
+	iters := fs.Int("n", 0, "refresh count (0 = until interrupted)")
+	fs.Parse(args)
+	c := gateway.NewClient(*url)
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+			fmt.Print("\033[H\033[2J") // home + clear between refreshes
+		}
+		samples, err := c.Metrics()
+		check(err)
+		printTop(*url, samples)
+	}
+}
+
+func printTop(url string, samples []obs.PromSample) {
+	val := func(name string, labels map[string]string) float64 {
+		s, _ := obs.FindSample(samples, name, labels)
+		return s.Value
+	}
+	fmt.Printf("silica top — %s\n\n", url)
+	fmt.Printf("%-7s %6s %5s %10s %10s %10s %10s %10s\n",
+		"class", "queue", "cap", "admitted", "rejected", "done", "p50", "p99")
+	for _, class := range []string{"put", "get", "delete"} {
+		l := obs.L("class", class)
+		lm := map[string]string{l.Key: l.Value}
+		p50, _ := obs.HistQuantile(samples, "silica_gateway_request_seconds", lm, 0.50)
+		p99, _ := obs.HistQuantile(samples, "silica_gateway_request_seconds", lm, 0.99)
+		fmt.Printf("%-7s %6.0f %5.0f %10.0f %10.0f %10.0f %10s %10s\n",
+			class,
+			val("silica_gateway_queue_depth", lm),
+			val("silica_gateway_queue_capacity", lm),
+			val("silica_gateway_admitted_total", lm),
+			val("silica_gateway_rejected_total", lm),
+			val("silica_gateway_completed_total", lm),
+			fmtSeconds(p50), fmtSeconds(p99))
+	}
+	flushP99, _ := obs.HistQuantile(samples, "silica_gateway_flush_seconds", nil, 0.99)
+	fmt.Printf("\nstaging  %s used / %s cap, peak %s, %0.f file(s) pending\n",
+		fmtBytes(val("silica_staging_used_bytes", nil)),
+		fmtBytes(val("silica_staging_capacity_bytes", nil)),
+		fmtBytes(val("silica_staging_peak_bytes", nil)),
+		val("silica_staging_pending_files", nil))
+	fmt.Printf("codec    %.0f/%.0f workers busy, %.0f jobs (%.0f token misses)\n",
+		val("silica_codec_busy_workers", nil),
+		val("silica_codec_workers", nil),
+		val("silica_codec_jobs_total", nil),
+		val("silica_codec_token_misses_total", nil))
+	fmt.Printf("flush    %.0f passes, p99 %s\n",
+		val("silica_gateway_flushes_total", nil), fmtSeconds(flushP99))
+	fmt.Printf("repair   %.0f scrubs (%.0f sector failures), rebuilds %.0f done / %.0f failed, %.0f active\n",
+		val("silica_repair_scrubs_total", nil),
+		val("silica_repair_scrub_sector_failures_total", nil),
+		val("silica_repair_rebuilds_total", map[string]string{"outcome": "done"}),
+		val("silica_repair_rebuilds_total", map[string]string{"outcome": "failed"}),
+		val("silica_repair_rebuilds_active", nil))
+	fmt.Printf("health  ")
+	for _, s := range samples {
+		if s.Name == "silica_platter_health" && s.Value > 0 {
+			fmt.Printf(" %.0f %s", s.Value, s.Labels["state"])
+		}
+	}
+	fmt.Println()
+}
+
+func fmtSeconds(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
 }
 
 // health prints a running daemon's liveness summary and per-platter

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"silica/internal/obs"
 )
 
 // Engine bounds the concurrency of codec work. A single Engine is
@@ -28,6 +30,16 @@ import (
 type Engine struct {
 	workers int
 	tokens  chan struct{}
+
+	// Telemetry, nil until Instrument is called. busy counts
+	// participants (caller + helpers) inside ForEach right now; the
+	// counters accumulate loops, per-iteration jobs, and recruit
+	// attempts that found the token bucket empty.
+	busy       atomic.Int64
+	mJobs      *obs.Counter
+	mLoops     *obs.Counter
+	mTokenMiss *obs.Counter
+	instr      atomic.Bool
 }
 
 // NewEngine returns an engine running at most workers iterations
@@ -50,6 +62,30 @@ func Serial() *Engine { return NewEngine(1) }
 // Workers reports the concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Instrument registers the engine's telemetry in reg and starts
+// recording: total fan-out loops and per-iteration jobs, recruit
+// attempts that found no free token (the engine saturated), and a
+// busy-participants gauge mirrored at scrape time. Call once, before
+// the engine is shared; an uninstrumented engine pays one atomic load
+// per ForEach and nothing per iteration.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.mJobs = reg.Counter("silica_codec_jobs_total",
+		"Iterations executed by the codec engine's fan-out loops.")
+	e.mLoops = reg.Counter("silica_codec_loops_total",
+		"ForEach fan-out loops run by the codec engine.")
+	e.mTokenMiss = reg.Counter("silica_codec_token_misses_total",
+		"Helper recruit attempts that found the token bucket empty.")
+	busy := reg.Gauge("silica_codec_busy_workers",
+		"Participants (caller plus helpers) currently inside ForEach.")
+	reg.Gauge("silica_codec_workers",
+		"Configured concurrency bound of the codec engine.").Set(float64(e.workers))
+	reg.OnScrape(func() { busy.Set(float64(e.busy.Load())) })
+	e.instr.Store(true)
+}
+
 // ForEach runs fn(i) for every i in [0, n), fanning iterations across
 // the engine's workers. It returns the error of the lowest failing
 // index (remaining iterations are skipped on a best-effort basis once
@@ -59,6 +95,13 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	instr := e.instr.Load()
+	if instr {
+		e.mLoops.Inc()
+		e.mJobs.Add(int64(n))
+		e.busy.Add(1)
+		defer e.busy.Add(-1)
 	}
 	if e.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
@@ -107,10 +150,17 @@ recruit:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				if instr {
+					e.busy.Add(1)
+					defer e.busy.Add(-1)
+				}
 				work()
 				e.tokens <- struct{}{}
 			}()
 		default:
+			if instr {
+				e.mTokenMiss.Inc()
+			}
 			break recruit
 		}
 	}

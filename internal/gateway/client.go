@@ -11,6 +11,7 @@ import (
 
 	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/obs"
 	"silica/internal/repair"
 	"silica/internal/service"
 )
@@ -192,6 +193,57 @@ func (c *Client) Repair(id media.PlatterID) error {
 	}
 	resp.Body.Close()
 	return nil
+}
+
+// MetricsText fetches the daemon's raw Prometheus text exposition.
+func (c *Client) MetricsText() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Metrics fetches and parses the daemon's /metrics exposition
+// (silicactl top and silica-load's end-of-run scrape).
+func (c *Client) Metrics() ([]obs.PromSample, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.ParseProm(resp.Body)
+}
+
+// Traces fetches the recent-trace ring, or the slow-trace ring when
+// slow is true.
+func (c *Client) Traces(slow bool) (TracesPayload, error) {
+	var out TracesPayload
+	u := c.BaseURL + "/v1/traces"
+	if slow {
+		u += "?slow=1"
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
 }
 
 // Healthz fetches the liveness/redundancy summary. A degraded service

@@ -20,6 +20,7 @@
 package gateway
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"silica/internal/media"
+	"silica/internal/obs"
 	"silica/internal/repair"
 	"silica/internal/service"
 	"silica/internal/staging"
@@ -81,6 +83,18 @@ type Config struct {
 	// DisableRepair turns the background repair manager off entirely
 	// (tests that inject failures and expect them to persist).
 	DisableRepair bool
+
+	// Metrics receives telemetry from the whole stack (gateway,
+	// service, codec engine, repair). Nil builds a private registry;
+	// either way it is served on GET /metrics and reachable via
+	// Gateway.Metrics.
+	Metrics *obs.Registry
+
+	// TraceSample traces one request in N (<= 0 takes the default;
+	// 1 traces everything). Traces slower than TraceSlow are kept in a
+	// dedicated ring regardless of sampling, so the tail stays visible.
+	TraceSample int
+	TraceSlow   time.Duration
 }
 
 // DefaultConfig returns a small but genuinely concurrent gateway over
@@ -97,6 +111,8 @@ func DefaultConfig() Config {
 		FlushAge:             2 * time.Second,
 		FlushInterval:        50 * time.Millisecond,
 		Repair:               repair.DefaultConfig(),
+		TraceSample:          8,
+		TraceSlow:            500 * time.Millisecond,
 	}
 }
 
@@ -124,6 +140,10 @@ type request struct {
 	account, name string
 	data          []byte
 	done          chan response
+	// ctx carries the caller's trace (if sampled) into the worker;
+	// queueSpan times the wait between admission and pickup.
+	ctx       context.Context
+	queueSpan obs.SpanEnd
 }
 
 type response struct {
@@ -163,6 +183,10 @@ type Gateway struct {
 
 	repair *repair.Manager // nil when DisableRepair
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	gm     gatewayMetrics
+
 	lat       *stats.Recorder
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -188,6 +212,18 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Service.ArrivalClock == nil {
 		cfg.Service.ArrivalClock = func() float64 { return time.Since(start).Seconds() }
 	}
+	// One registry spans the whole stack: the service (and through it
+	// the codec engine), the repair manager, and the gateway itself all
+	// register into it, so one /metrics scrape covers every subsystem.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Service.Metrics = reg
+	cfg.Repair.Metrics = reg
+	if cfg.TraceSample < 1 {
+		cfg.TraceSample = DefaultConfig().TraceSample
+	}
 	svc, err := service.New(cfg.Service)
 	if err != nil {
 		return nil, err
@@ -204,7 +240,10 @@ func New(cfg Config) (*Gateway, error) {
 		flushKick: make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		lat:       stats.NewRecorder(),
+		reg:       reg,
+		tracer:    obs.NewTracer(cfg.TraceSample, cfg.TraceSlow),
 	}
+	g.gm = newGatewayMetrics(reg, g)
 	for i := 0; i < cfg.WriteWorkers; i++ {
 		g.workerWG.Add(1)
 		go g.worker(g.writeq)
@@ -262,36 +301,55 @@ func (g *Gateway) Degraded() bool {
 
 // submit runs one request through admission control and its class
 // queue, blocking the caller until a worker finishes it — the
-// closed-loop behaviour archival front ends present to clients.
+// closed-loop behaviour archival front ends present to clients. When
+// the caller's ctx carries no trace, the gateway makes the sampling
+// decision here and owns the resulting trace end to end.
 func (g *Gateway) submit(req *request) response {
+	cm := &g.gm.cls[req.op]
+	if req.ctx == nil {
+		req.ctx = context.Background()
+	}
+	var owned *obs.Trace
+	if obs.FromContext(req.ctx) == nil {
+		req.ctx, owned = g.tracer.Start(req.ctx, req.op.class())
+	}
 	q := g.readq
 	if req.op != opGet {
 		q = g.writeq
 		if err := g.admitWrite(); err != nil {
 			g.rejected.Add(1)
+			cm.rejected.Inc()
+			g.tracer.Finish(owned)
 			return response{err: err}
 		}
 	}
 	req.done = make(chan response, 1)
+	req.queueSpan = obs.StartSpan(req.ctx, "queue")
 
 	g.admitMu.RLock()
 	if g.closed {
 		g.admitMu.RUnlock()
+		g.tracer.Finish(owned)
 		return response{err: ErrClosed}
 	}
 	select {
 	case q <- req:
 		g.admitMu.RUnlock()
 		g.accepted.Add(1)
+		cm.admitted.Inc()
 	default:
 		g.admitMu.RUnlock()
 		g.rejected.Add(1)
+		cm.rejected.Inc()
+		g.tracer.Finish(owned)
 		if req.op != opGet {
 			g.kickFlush() // drain staging so capacity comes back
 		}
 		return response{err: fmt.Errorf("%w: %s queue full", ErrOverloaded, req.op.class())}
 	}
-	return <-req.done
+	resp := <-req.done
+	g.tracer.Finish(owned)
+	return resp
 }
 
 // admitWrite applies the staging high watermark before a write enters
@@ -315,11 +373,12 @@ func (g *Gateway) admitWrite() error {
 func (g *Gateway) worker(q chan *request) {
 	defer g.workerWG.Done()
 	for req := range q {
+		req.queueSpan.End()
 		t0 := time.Now()
 		var resp response
 		switch req.op {
 		case opPut:
-			resp.version, resp.err = g.svc.Put(req.account, req.name, req.data)
+			resp.version, resp.err = g.svc.PutCtx(req.ctx, req.account, req.name, req.data)
 			if errors.Is(resp.err, staging.ErrCapacity) {
 				// Lost the capacity race after admission; surface the
 				// same backpressure signal and drain.
@@ -327,11 +386,15 @@ func (g *Gateway) worker(q chan *request) {
 				g.kickFlush()
 			}
 		case opGet:
-			resp.data, resp.err = g.svc.Get(req.account, req.name)
+			resp.data, resp.err = g.svc.GetCtx(req.ctx, req.account, req.name)
 		case opDelete:
 			resp.err = g.svc.Delete(req.account, req.name)
 		}
-		g.lat.Observe(req.op.class(), time.Since(t0).Seconds())
+		cm := &g.gm.cls[req.op]
+		seconds := time.Since(t0).Seconds()
+		g.lat.Observe(req.op.class(), seconds)
+		cm.seconds.Observe(seconds)
+		cm.completed.Inc()
 		g.completed.Add(1)
 		req.done <- resp
 	}
@@ -340,13 +403,25 @@ func (g *Gateway) worker(q chan *request) {
 // Put stores data under account/name. It blocks until staged (or
 // rejected) and returns the version written.
 func (g *Gateway) Put(account, name string, data []byte) (int, error) {
-	resp := g.submit(&request{op: opPut, account: account, name: name, data: data})
+	return g.PutCtx(context.Background(), account, name, data)
+}
+
+// PutCtx is Put carrying ctx (and any trace in it) through the queue
+// into the service.
+func (g *Gateway) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	resp := g.submit(&request{op: opPut, account: account, name: name, data: data, ctx: ctx})
 	return resp.version, resp.err
 }
 
 // Get reads the latest version of account/name.
 func (g *Gateway) Get(account, name string) ([]byte, error) {
-	resp := g.submit(&request{op: opGet, account: account, name: name})
+	return g.GetCtx(context.Background(), account, name)
+}
+
+// GetCtx is Get carrying ctx (and any trace in it) through the queue
+// into the service.
+func (g *Gateway) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	resp := g.submit(&request{op: opGet, account: account, name: name, ctx: ctx})
 	return resp.data, resp.err
 }
 
@@ -358,9 +433,26 @@ func (g *Gateway) Delete(account, name string) error {
 // Flush forces a full drain of the staging tier, bypassing the
 // watermark scheduler (used by tests and the admin API).
 func (g *Gateway) Flush() error {
+	// Scheduled and explicit flushes with no caller trace get their own
+	// sampling decision, so pipeline spans (encode, burn, verify,
+	// publish) stay observable without a traced client.
+	return g.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush carrying ctx (and any trace in it) into the
+// service's flush pipeline.
+func (g *Gateway) FlushCtx(ctx context.Context) error {
+	var owned *obs.Trace
+	if obs.FromContext(ctx) == nil {
+		ctx, owned = g.tracer.Start(ctx, "flush")
+	}
 	t0 := time.Now()
-	err := g.svc.Flush()
-	g.lat.Observe("flush", time.Since(t0).Seconds())
+	err := g.svc.FlushCtx(ctx)
+	seconds := time.Since(t0).Seconds()
+	g.tracer.Finish(owned)
+	g.lat.Observe("flush", seconds)
+	g.gm.flushSeconds.Observe(seconds)
+	g.gm.flushes.Inc()
 	g.flushes.Add(1)
 	return err
 }

@@ -29,6 +29,10 @@ import (
 //	GET    /v1/health/platters              → repair.Snapshot JSON (per-platter health
 //	                                          + transition history)
 //	POST   /v1/repair/{platter}             → {"queued": true}    (fail + rebuild platter)
+//	GET    /metrics                         → Prometheus text exposition (gateway,
+//	                                          staging, codec, repair families)
+//	GET    /v1/traces                       → TracesPayload JSON: recent sampled traces;
+//	                                          ?slow=1 returns the slow-trace ring
 //
 // Overload (queue full, staging watermark, staging capacity) returns
 // 429 with a Retry-After header; unknown objects 404; unrecoverable
@@ -49,6 +53,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	mux.HandleFunc("GET /v1/health/platters", g.handleHealthPlatters)
 	mux.HandleFunc("POST /v1/repair/{platter}", g.handleRepair)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", g.handleTraces)
 	return mux
 }
 
@@ -137,7 +143,7 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
 		return
 	}
-	version, err := g.Put(account, name, data)
+	version, err := g.PutCtx(r.Context(), account, name, data)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -151,7 +157,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need /v1/objects/{account}/{name}", http.StatusBadRequest)
 		return
 	}
-	data, err := g.Get(account, name)
+	data, err := g.GetCtx(r.Context(), account, name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -174,7 +180,7 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := g.Flush(); err != nil {
+	if err := g.FlushCtx(r.Context()); err != nil {
 		writeErr(w, err)
 		return
 	}

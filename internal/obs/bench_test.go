@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkObsObserve is the hot-path bar from DESIGN.md §9: a
+// counter or histogram observation must cost < 50 ns and 0 allocs, so
+// instrumenting the gateway workers and codec loops never serializes
+// them.
+
+func BenchmarkObsObserveCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("silica_bench_total", "bench", L("class", "put"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsObserveHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("silica_bench_seconds", "bench", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
+
+func BenchmarkObsObserveHistogramParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("silica_bench_seconds", "bench", DurationBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-6
+		for pb.Next() {
+			h.Observe(v)
+			v += 1.7e-6
+			if v > 1 {
+				v = 1e-6
+			}
+		}
+	})
+}
+
+func BenchmarkObsSpan(b *testing.B) {
+	tr := NewTracer(1, 0)
+	ctx, trace := tr.Start(context.Background(), "bench")
+	_ = ctx
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.StartSpan("step").End()
+		if trace.n.Load() >= MaxSpans {
+			trace.n.Store(0)
+		}
+	}
+	b.StopTimer()
+	tr.Finish(trace)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"silica/internal/media"
+	"silica/internal/obs"
 )
 
 // Config shapes the background scrubber and rebuilder.
@@ -34,6 +35,10 @@ type Config struct {
 	AutoRebuild bool
 	// RebuildBackoff is the delay before retrying a failed rebuild.
 	RebuildBackoff time.Duration
+	// Metrics receives the repair subsystem's telemetry (scrub and
+	// rebuild counters, margin histogram, health-state gauges). Nil
+	// gets a private registry, so the loops never nil-check.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns scrubbing tuned for the tiny in-memory
@@ -81,6 +86,8 @@ type Manager struct {
 	rebuildsDone   atomic.Int64
 	rebuildsFailed atomic.Int64
 	rebuildsActive atomic.Int64
+
+	om managerMetrics
 }
 
 // NewManager wires a manager over a storage target and its health
@@ -103,7 +110,10 @@ func NewManager(tgt Target, reg *Registry, gate func() bool, cfg Config) *Manage
 	if gate == nil {
 		gate = func() bool { return true }
 	}
-	return &Manager{
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	m := &Manager{
 		cfg:      cfg,
 		tgt:      tgt,
 		reg:      reg,
@@ -112,6 +122,8 @@ func NewManager(tgt Target, reg *Registry, gate func() bool, cfg Config) *Manage
 		stop:     make(chan struct{}),
 		queued:   make(map[media.PlatterID]bool),
 	}
+	m.om = newManagerMetrics(cfg.Metrics, m)
+	return m
 }
 
 // Registry exposes the health registry the manager feeds.
@@ -236,6 +248,7 @@ func (m *Manager) scrubLoop() {
 		}
 		if !m.gate() {
 			m.scrubSkips.Add(1)
+			m.om.scrubSkips.Inc()
 			continue
 		}
 		m.scrubOnce()
@@ -298,6 +311,12 @@ func (m *Manager) scrubOnce() {
 		return
 	}
 	m.scrubs.Add(1)
+	m.om.scrubs.Inc()
+	m.om.scrubSectors.Add(int64(rep.SectorsSampled))
+	m.om.scrubFails.Add(int64(rep.SectorFailures))
+	if rep.SectorsSampled > 0 {
+		m.om.margin.Observe(rep.MinMargin)
+	}
 	reports := pickRec.reportsSinceScrub()
 	m.reg.RecordScrub(pick.ID, rep)
 	m.applyScrub(pick.ID, pickRec, rep, reports)
@@ -389,6 +408,7 @@ func (m *Manager) rebuildOne(id media.PlatterID) {
 	m.rebuildsActive.Add(-1)
 	if err != nil {
 		m.rebuildsFailed.Add(1)
+		m.om.rebuildFail.Inc()
 		m.reg.Transition(id, Failed, fmt.Sprintf("rebuild failed: %v", err))
 		if errors.Is(err, ErrNoRebuildSource) {
 			// Permanent: no platter-set means no redundancy to rebuild
@@ -413,6 +433,7 @@ func (m *Manager) rebuildOne(id media.PlatterID) {
 		return
 	}
 	m.rebuildsDone.Add(1)
+	m.om.rebuildDone.Inc()
 	// The service retires the old record when it swaps the extent
 	// mappings, so by now the transition history already ends with
 	// rebuilding → retired naming newID.

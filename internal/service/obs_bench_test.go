@@ -1,0 +1,39 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"silica/internal/obs"
+)
+
+// BenchmarkPutUntraced / BenchmarkTracedPut bound the cost of request
+// tracing on the staging write path: the traced variant (every request
+// sampled, spans recorded) must stay within a few percent of the plain
+// one. Payloads are small so the benchmark measures the span overhead,
+// not the memcpy.
+
+func benchPut(b *testing.B, ctx context.Context, tr *obs.Tracer) {
+	b.Helper()
+	s := benchService(b, 1)
+	data := randBytes(7, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pctx, trace := tr.Start(ctx, "put")
+		if _, err := s.PutCtx(pctx, "acct", fmt.Sprintf("o-%d", i), data); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish(trace)
+	}
+}
+
+func BenchmarkPutUntraced(b *testing.B) {
+	// A nil tracer never samples: PutCtx pays one nil check per span.
+	benchPut(b, context.Background(), nil)
+}
+
+func BenchmarkTracedPut(b *testing.B) {
+	benchPut(b, context.Background(), obs.NewTracer(1, 0))
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"silica/internal/keystore"
 	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/obs"
 	"silica/internal/repair"
 	"silica/internal/sim"
 )
@@ -26,6 +28,12 @@ func (s *Service) readRNG() *sim.RNG {
 // reads of flushed extents proceed in parallel with staging writes
 // and with each other.
 func (s *Service) Get(account, name string) ([]byte, error) {
+	return s.GetCtx(context.Background(), account, name)
+}
+
+// GetCtx is Get recording trace spans (decode, plus recovery-tier
+// escalations) into the trace carried by ctx, if any.
+func (s *Service) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
 	key := metadata.FileKey{Account: account, Name: name}
 	rng := s.readRNG()
 	for attempt := 0; ; attempt++ {
@@ -50,12 +58,16 @@ func (s *Service) Get(account, name string) ([]byte, error) {
 			}
 			ct = append([]byte(nil), f.Data...)
 			s.addStats(func(st *Stats) { st.StagedReads++ })
+			s.om.readsStaged.Inc()
 		case metadata.Durable:
-			ct, err = s.readExtents(v, rng)
+			decode := obs.StartSpan(ctx, "decode")
+			ct, err = s.readExtents(ctx, v, rng)
+			decode.End()
 			if err != nil {
 				return nil, err
 			}
 			s.addStats(func(st *Stats) { st.DurableReads++ })
+			s.om.readsDurable.Inc()
 		default:
 			return nil, fmt.Errorf("service: %v in unexpected state %v", key, v.State)
 		}
@@ -69,13 +81,13 @@ func (s *Service) Get(account, name string) ([]byte, error) {
 
 // readExtents assembles a version's ciphertext from its shards in
 // shard order.
-func (s *Service) readExtents(v *metadata.Version, rng *sim.RNG) ([]byte, error) {
+func (s *Service) readExtents(ctx context.Context, v *metadata.Version, rng *sim.RNG) ([]byte, error) {
 	extents := append([]metadata.Extent(nil), v.Extents...)
 	sort.Slice(extents, func(i, j int) bool { return extents[i].Shard < extents[j].Shard })
 	var out []byte
 	for _, e := range extents {
 		for k := 0; k < e.SectorCount; k++ {
-			payload, err := s.readInfoSector(e.Platter, e.FirstSector+k, rng)
+			payload, err := s.readInfoSector(ctx, e.Platter, e.FirstSector+k, rng)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d sector %d: %w", e.Shard, e.FirstSector+k, err)
 			}
@@ -91,7 +103,7 @@ func (s *Service) readExtents(v *metadata.Version, rng *sim.RNG) ([]byte, error)
 //  2. within-track network coding over the sector's track;
 //  3. large-group network coding across the platter's tracks;
 //  4. cross-platter network coding over the platter-set.
-func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RNG) ([]byte, error) {
+func (s *Service) readInfoSector(ctx context.Context, id media.PlatterID, infoSector int, rng *sim.RNG) ([]byte, error) {
 	pi, ok := s.platterByID(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: platter %d unknown", ErrUnavailable, id)
@@ -102,11 +114,14 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RN
 	sPos := infoSector % iPerTrack
 	if pi.rec.Unavailable() {
 		// Level 4: the platter is unavailable; rebuild from its set.
+		sp := obs.StartSpan(ctx, "recover_set")
 		payload, err := s.recoverFromSet(pi, infoSector, rng)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		s.addStats(func(st *Stats) { st.PlatterRecovers++ })
+		s.om.recSet.Inc()
 		pi.rec.ReportTier(repair.TierSet)
 		return payload, nil
 	}
@@ -115,17 +130,25 @@ func (s *Service) readInfoSector(id media.PlatterID, infoSector int, rng *sim.RN
 		return payload, nil
 	}
 	// Level 2: read the whole track, repair via within-track NC.
+	sp := obs.StartSpan(ctx, "recover_sector")
 	if payload, ok := s.repairWithinTrack(pi, phys, sPos, rng); ok {
+		sp.End()
 		s.addStats(func(st *Stats) { st.SectorRepairs++ })
+		s.om.recSector.Inc()
 		pi.rec.ReportTier(repair.TierSector)
 		return payload, nil
 	}
+	sp.End()
 	// Level 3: rebuild the whole track from its large group.
+	sp = obs.StartSpan(ctx, "recover_track")
 	if payload, ok := s.rebuildTrackSector(pi, infoTrack, sPos, rng); ok {
+		sp.End()
 		s.addStats(func(st *Stats) { st.TrackRebuilds++ })
+		s.om.recTrack.Inc()
 		pi.rec.ReportTier(repair.TierTrack)
 		return payload, nil
 	}
+	sp.End()
 	return nil, fmt.Errorf("%w: platter %d sector %d beyond all coding levels", ErrUnavailable, id, infoSector)
 }
 

@@ -22,6 +22,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,6 +34,7 @@ import (
 	"silica/internal/media"
 	"silica/internal/metadata"
 	"silica/internal/nc"
+	"silica/internal/obs"
 	"silica/internal/repair"
 	"silica/internal/sim"
 	"silica/internal/staging"
@@ -69,6 +71,11 @@ type Config struct {
 	// Output is bit-identical at any worker count (every sector job
 	// forks its own RNG stream from pure seed material).
 	CodecWorkers int
+	// Metrics receives the service's telemetry (staging occupancy,
+	// flush phase timings, read recoveries, codec engine activity).
+	// Nil gets a private registry, so instrumentation is always live
+	// and callers never nil-check.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns an in-memory full-codec service.
@@ -173,6 +180,9 @@ type Service struct {
 	// stream from it, so concurrent reads never share generator state.
 	rootRNG *sim.RNG
 	opSeq   atomic.Uint64
+
+	reg *obs.Registry
+	om  serviceMetrics
 }
 
 // New builds a service.
@@ -219,6 +229,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.stats.MinVerifyMargin = 1
 	s.stats.ScrubMinMargin = 1
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.om = newServiceMetrics(s.reg, s.tier.Usage)
+	s.eng.Instrument(s.reg)
 	return s, nil
 }
 
@@ -266,6 +282,10 @@ func (s *Service) Stats() Stats {
 // Metadata exposes the metadata service (read-only use expected).
 func (s *Service) Metadata() *metadata.Store { return s.meta }
 
+// Metrics exposes the service's telemetry registry (the one from
+// Config.Metrics, or the private registry built in its place).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
 // Health exposes the platter health registry.
 func (s *Service) Health() *repair.Registry { return s.health }
 
@@ -308,29 +328,44 @@ func (s *Service) arrival() float64 {
 // anything, so a rejected Put leaves no metadata or key behind — the
 // overload path the gateway maps to HTTP 429.
 func (s *Service) Put(account, name string, data []byte) (int, error) {
+	return s.PutCtx(context.Background(), account, name, data)
+}
+
+// PutCtx is Put recording trace spans (reserve, encrypt, stage) into
+// the trace carried by ctx, if any. An untraced ctx costs one nil
+// check per span.
+func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
 	key := metadata.FileKey{Account: account, Name: name}
 	ctSize := int64(len(data)) + keystore.Overhead
+	reserve := obs.StartSpan(ctx, "reserve")
 	if err := s.tier.Reserve(ctSize); err != nil {
+		reserve.End()
 		return 0, err
 	}
+	reserve.End()
 	// Key ids are opaque and unique per Put; the version cannot be
 	// named yet because metadata registration comes last.
+	encrypt := obs.StartSpan(ctx, "encrypt")
 	kid := fmt.Sprintf("%s#k%d", key, s.opSeq.Add(1))
 	if err := s.keys.CreateKey(kid); err != nil {
+		encrypt.End()
 		s.tier.CancelReservation(ctSize)
 		return 0, err
 	}
 	ct, err := s.keys.Encrypt(kid, data)
+	encrypt.End()
 	if err != nil {
 		s.tier.CancelReservation(ctSize)
 		_ = s.keys.Shred(kid)
 		return 0, err
 	}
+	stage := obs.StartSpan(ctx, "stage")
 	arrival := s.arrival()
 	v := s.meta.Put(key, int64(len(data)), kid, arrival)
 	s.tier.AdmitReserved(&staging.File{
 		Key: key, Version: v.Version, Size: int64(len(ct)), Data: ct, Arrival: arrival,
 	})
+	stage.End()
 	return v.Version, nil
 }
 

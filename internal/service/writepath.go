@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"silica/internal/layout"
 	"silica/internal/media"
 	"silica/internal/metadata"
+	"silica/internal/obs"
 	"silica/internal/sim"
 	"silica/internal/staging"
 )
@@ -31,12 +33,21 @@ import (
 // the platter index, set membership, and all media bytes are identical
 // at any worker count.
 func (s *Service) Flush() error {
+	return s.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush recording trace spans (encode, burn, verify per
+// platter; publish per batch) into the trace carried by ctx, and phase
+// wall times into the silica_flush_phase_seconds histograms.
+func (s *Service) FlushCtx(ctx context.Context) error {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 	noProgress := 0
 	for {
+		batchDone := phaseTimer(s.om.phaseBatch)
 		batch := s.tier.NextBatch(s.platterTargetBytes())
 		if len(batch) == 0 {
+			batchDone()
 			return nil
 		}
 		// Files deleted while staged are dropped here: their pointers
@@ -58,6 +69,7 @@ func (s *Service) Flush() error {
 			}
 		}
 		batch = live
+		batchDone()
 		if len(batch) == 0 {
 			continue // dropping released staging space: progress
 		}
@@ -82,12 +94,14 @@ func (s *Service) Flush() error {
 		// platter. The platters are private until phase 3, so workers
 		// touch no shared service state beyond the stats counters.
 		if err := s.eng.ForEach(len(pend), func(i int) error {
-			return s.buildPlatter(pend[i], byID)
+			return s.buildPlatter(ctx, pend[i], byID)
 		}); err != nil {
 			return err
 		}
 		// Phase 3 (serial, plan order): publish verified platters,
 		// record extents, and complete platter-sets.
+		publish := obs.StartSpan(ctx, "publish")
+		publishDone := phaseTimer(s.om.phasePublish)
 		for _, pd := range pend {
 			if !pd.ok {
 				// Verification failed: every file with a shard on this
@@ -134,6 +148,8 @@ func (s *Service) Flush() error {
 		if err := s.tier.Release(release); err != nil {
 			return err
 		}
+		publish.End()
+		publishDone()
 		if len(release) == 0 {
 			// Nothing verified this round. Retry: the rewrite lands on
 			// fresh platters whose scrambling decorrelates the voxel
@@ -194,12 +210,14 @@ type pendingPlatter struct {
 // stays staged. The platter is built privately and published to the
 // index only after it verifies, so concurrent reads never observe
 // partial media.
-func (s *Service) buildPlatter(pd *pendingPlatter, byID map[string]*staging.File) error {
+func (s *Service) buildPlatter(ctx context.Context, pd *pendingPlatter, byID map[string]*staging.File) error {
 	geom := s.cfg.Geom
 	plan := pd.plan
 	p := media.NewPlatter(pd.id, geom)
 	pi := &platterInfo{platter: p, set: -1}
 
+	encode := obs.StartSpan(ctx, "encode")
+	encodeDone := phaseTimer(s.om.phaseEncode)
 	// Assemble info-sector payloads in plan order.
 	iPerTrack := geom.InfoSectorsPerTrack
 	usedTracks := (plan.SectorsUsed + iPerTrack - 1) / iPerTrack
@@ -228,15 +246,26 @@ func (s *Service) buildPlatter(pd *pendingPlatter, byID map[string]*staging.File
 	}
 	pi.payloads = payloads
 	pi.usedInfoSectors = plan.SectorsUsed
+	encode.End()
+	encodeDone()
 
+	burn := obs.StartSpan(ctx, "burn")
+	burnDone := phaseTimer(s.om.phaseBurn)
 	if err := s.burnPlatter(pi, payloads); err != nil {
 		return err
 	}
+	burn.End()
+	burnDone()
 	// Verification: full read-back through the real read path (§3.1).
 	if err := p.Transition(media.Verifying); err != nil {
 		return err
 	}
-	if !s.verifyPlatter(pi, usedTracks, pd.rng) {
+	verify := obs.StartSpan(ctx, "verify")
+	verifyDone := phaseTimer(s.om.phaseVerify)
+	ok := s.verifyPlatter(pi, usedTracks, pd.rng)
+	verify.End()
+	verifyDone()
+	if !ok {
 		return p.Transition(media.Faulted)
 	}
 	if err := p.Transition(media.Stored); err != nil {

@@ -29,6 +29,15 @@ import (
 	"silica/internal/repair"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
 func main() {
 	var (
 		url           = flag.String("url", "", "gateway base URL; empty runs an in-process gateway")
@@ -45,7 +54,11 @@ func main() {
 		platterTracks = flag.Int("platter-tracks", 0, "in-process mode: shrink platters to this many tracks (0 = default)")
 		killPlatter   = flag.Bool("kill-platter", false, "in-process mode: fail a set member mid-run; scrubber must detect, rebuild must restore it")
 		rebuildWait   = flag.Duration("rebuild-wait", 60*time.Second, "max wait for the killed platter's rebuild before verification")
+		clientRetry   = flag.Bool("client-retry", false, "-url mode: retry 429/503 inside the HTTP client (jittered backoff, honors Retry-After)")
+		faultSeed     = flag.Uint64("fault-seed", 0, "in-process mode: seed for probabilistic fault triggers")
 	)
+	var faultRules multiFlag
+	flag.Var(&faultRules, "fault", "in-process mode: fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
 	flag.Parse()
 
 	lc := gateway.LoadConfig{
@@ -66,13 +79,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-kill-platter requires the in-process gateway (no -url)")
 			os.Exit(2)
 		}
-		api = gateway.NewClient(*url)
+		c := gateway.NewClient(*url)
+		if *clientRetry {
+			pol := gateway.DefaultRetryPolicy()
+			pol.Seed = *seed
+			c.Retry = pol
+		}
+		api = c
 		fmt.Printf("driving %s: %d clients x %d ops, %d-byte objects\n",
 			*url, lc.Clients, lc.OpsPerClient, lc.ObjectBytes)
 	} else {
+		if len(faultRules) > 0 && *killPlatter {
+			fmt.Fprintln(os.Stderr, "-fault and -kill-platter are separate failure drills; pick one")
+			os.Exit(2)
+		}
 		cfg := gateway.DefaultConfig()
 		cfg.Service.StagingCapacity = *stagingCap
 		cfg.StagingHighWatermark = *highWatermark
+		cfg.FaultSeed = *faultSeed
+		cfg.FaultRules = faultRules
 		if *platterTracks > 0 {
 			cfg.Service.Geom.TracksPerPlatter = *platterTracks
 		}
@@ -97,6 +122,12 @@ func main() {
 	rep := gateway.RunLoad(api, lc)
 	fmt.Print(rep)
 	printServerPercentiles(api, g, rep)
+	if g != nil && len(faultRules) > 0 {
+		fmt.Printf("faults: %d injected across %d rule(s)\n", g.Faults().Total(), len(faultRules))
+	}
+	if c, ok := api.(*gateway.Client); ok && c.RetriesTotal() > 0 {
+		fmt.Printf("client: %d retries after 429/503\n", c.RetriesTotal())
+	}
 
 	if rep.Lost > 0 || rep.Corrupted > 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: committed objects lost or corrupted")

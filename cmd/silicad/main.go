@@ -14,6 +14,16 @@
 //	GET    /v1/healthz                    liveness (503 "degraded" at reduced redundancy)
 //	GET    /v1/health/platters            platter health registry + transition history
 //	POST   /v1/repair/{platter}           fail a platter and rebuild it from its set
+//	POST   /v1/faults                     arm fault-injection rules at runtime
+//	GET    /v1/faults                     list armed rules and fire counts
+//	DELETE /v1/faults                     disarm all fault rules
+//
+// Fault injection (-fault, repeatable) arms deterministic failure
+// rules at startup, e.g.
+//
+//	silicad -fault op=media.write,mode=error,every=7,count=5 \
+//	        -fault op=staging.reserve,mode=error,err=capacity,prob=0.05 \
+//	        -fault-seed 42
 //
 // SIGINT/SIGTERM triggers graceful shutdown: admission stops, in-flight
 // requests drain, and staging is flushed to glass before exit.
@@ -33,6 +43,15 @@ import (
 	"silica/internal/gateway"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
 func main() {
 	var (
 		listen        = flag.String("listen", ":7070", "HTTP listen address")
@@ -50,7 +69,11 @@ func main() {
 		autoRebuild   = flag.Bool("auto-rebuild", true, "rebuild failed platters automatically")
 		noRepair      = flag.Bool("no-repair", false, "disable the background scrubber and rebuilder")
 		codecWorkers  = flag.Int("codec-workers", 0, "codec engine parallelism (0 = GOMAXPROCS, 1 = serial)")
+		retryAfter    = flag.Duration("retry-after", time.Second, "backoff hint sent in Retry-After on 429/503")
+		faultSeed     = flag.Uint64("fault-seed", 0, "seed for probabilistic fault-injection triggers")
 	)
+	var faultRules multiFlag
+	flag.Var(&faultRules, "fault", "fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
 	flag.Parse()
 
 	cfg := gateway.DefaultConfig()
@@ -68,6 +91,12 @@ func main() {
 	cfg.Repair.SampleTracks = *scrubTracks
 	cfg.Repair.AutoRebuild = *autoRebuild
 	cfg.DisableRepair = *noRepair
+	cfg.RetryAfter = *retryAfter
+	cfg.FaultSeed = *faultSeed
+	cfg.FaultRules = faultRules
+	if len(faultRules) > 0 {
+		log.Printf("fault injection armed: %d rule(s), seed %d", len(faultRules), *faultSeed)
+	}
 
 	g, err := gateway.New(cfg)
 	if err != nil {

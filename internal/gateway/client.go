@@ -2,11 +2,16 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"silica/internal/media"
@@ -35,9 +40,19 @@ var (
 // map back to the same typed errors the in-process API returns:
 // 429 → ErrOverloaded, 404 → metadata.ErrNotFound,
 // 503 → service.ErrUnavailable.
+//
+// Setting Retry turns on jittered exponential-backoff retries for
+// ErrOverloaded/ErrUnavailable responses; the loop honors the server's
+// Retry-After hint and gives up as soon as the caller's ctx expires.
+// Retry is nil by default so rejection behavior stays visible to
+// closed-loop callers that implement their own backoff.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	Retry   *RetryPolicy
+
+	retries    atomic.Int64
+	retryCount *obs.Counter
 }
 
 // NewClient returns a client for a gateway at baseURL
@@ -49,12 +64,150 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// RetryPolicy shapes the client's backoff on retryable rejections.
+type RetryPolicy struct {
+	// MaxRetries bounds re-attempts after the first try (so a request
+	// runs at most MaxRetries+1 times).
+	MaxRetries int
+	// BaseBackoff is the first retry's delay; each later retry doubles
+	// it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each delay uniformly over
+	// [1-JitterFrac, 1+JitterFrac] to decorrelate competing clients.
+	JitterFrac float64
+	// Seed makes the jitter sequence reproducible in tests.
+	Seed uint64
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+// DefaultRetryPolicy suits closed-loop archival clients: patient, with
+// enough spread that herds of rejected writers don't re-arrive in step.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxRetries:  8,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		JitterFrac:  0.5,
+		Seed:        1,
+	}
+}
+
+// delay computes the jittered backoff for the given attempt (0-based).
+func (p *RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		p.mu.Lock()
+		if p.rng == 0 {
+			p.rng = p.Seed | 1
+		}
+		// xorshift64: cheap, deterministic, good enough for jitter.
+		x := p.rng
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.rng = x
+		p.mu.Unlock()
+		u := float64(x>>11) / (1 << 53) // [0,1)
+		d = time.Duration(float64(d) * (1 - p.JitterFrac + 2*p.JitterFrac*u))
+	}
+	return d
+}
+
+// retryAfterError carries the server's Retry-After hint through the
+// typed error chain.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfterHint extracts the server's Retry-After backoff hint from a
+// client error, if one was attached.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
+// retryable reports whether err is a backpressure signal worth
+// re-attempting: admission rejection or temporary unavailability.
+func retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, service.ErrUnavailable)
+}
+
+// RetriesTotal reports how many retries this client has performed.
+func (c *Client) RetriesTotal() int64 { return c.retries.Load() }
+
+// Instrument registers the client's retry counter
+// (silica_client_retries_total) into reg.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.retryCount = reg.Counter("silica_client_retries_total",
+		"Client retries after 429/503 rejections.")
+}
+
+func (c *Client) countRetry() {
+	c.retries.Add(1)
+	if c.retryCount != nil {
+		c.retryCount.Inc()
+	}
+}
+
+// withRetry runs f under the client's retry policy. Each attempt's
+// delay is the larger of the policy's jittered backoff and the
+// server's Retry-After hint; ctx expiry during the wait (or before an
+// attempt) abandons the loop with ctx's error wrapped.
+func (c *Client) withRetry(ctx context.Context, f func() error) error {
+	pol := c.Retry
+	if pol == nil {
+		return f()
+	}
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("gateway: client gave up: %w", err)
+		}
+		err := f()
+		if err == nil || !retryable(err) || attempt >= pol.MaxRetries {
+			return err
+		}
+		delay := pol.delay(attempt)
+		if hint, ok := RetryAfterHint(err); ok && hint > delay {
+			delay = hint
+		}
+		c.countRetry()
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("gateway: client gave up: %w (last: %v)", ctx.Err(), err)
+		case <-timer.C:
+		}
+	}
+}
+
 func (c *Client) objectURL(account, name string) string {
 	return fmt.Sprintf("%s/v1/objects/%s/%s",
 		c.BaseURL, url.PathEscape(account), url.PathEscape(name))
 }
 
-// decodeError turns a non-2xx response into a typed error.
+// decodeError turns a non-2xx response into a typed error. A
+// Retry-After header (integer or fractional seconds) rides along as a
+// RetryAfterHint on retryable statuses.
 func decodeError(resp *http.Response) error {
 	var body struct {
 		Error string `json:"error"`
@@ -63,16 +216,21 @@ func decodeError(resp *http.Response) error {
 	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
 		msg = body.Error
 	}
+	var err error
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+		err = fmt.Errorf("%w: %s", ErrOverloaded, msg)
 	case http.StatusNotFound:
 		return fmt.Errorf("%w: %s", metadata.ErrNotFound, msg)
 	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w: %s", service.ErrUnavailable, msg)
+		err = fmt.Errorf("%w: %s", service.ErrUnavailable, msg)
 	default:
 		return fmt.Errorf("gateway: http %d: %s", resp.StatusCode, msg)
 	}
+	if secs, perr := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); perr == nil && secs > 0 {
+		err = &retryAfterError{err: err, after: time.Duration(secs * float64(time.Second))}
+	}
+	return err
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
@@ -89,55 +247,140 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 
 // Put uploads data and returns the version written.
 func (c *Client) Put(account, name string, data []byte) (int, error) {
-	req, err := http.NewRequest(http.MethodPut, c.objectURL(account, name), bytes.NewReader(data))
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
+	return c.PutCtx(context.Background(), account, name, data)
+}
+
+// PutCtx is Put under ctx: the request carries the caller's deadline,
+// and the retry policy (if set) stops as soon as ctx expires.
+func (c *Client) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
 	var out struct {
 		Version int `json:"version"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, fmt.Errorf("gateway: decoding put response: %w", err)
-	}
-	return out.Version, nil
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(account, name), bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		resp, err := c.do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("gateway: decoding put response: %w", err)
+		}
+		return nil
+	})
+	return out.Version, err
 }
 
 // Get downloads the latest version of an object.
 func (c *Client) Get(account, name string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.objectURL(account, name), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	return c.GetCtx(context.Background(), account, name)
+}
+
+// GetCtx is Get under ctx with the client's retry policy.
+func (c *Client) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	var data []byte
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(account, name), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	return data, err
 }
 
 // Delete removes an object.
 func (c *Client) Delete(account, name string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.objectURL(account, name), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	return nil
+	return c.DeleteCtx(context.Background(), account, name)
+}
+
+// DeleteCtx is Delete under ctx with the client's retry policy.
+func (c *Client) DeleteCtx(ctx context.Context, account, name string) error {
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(account, name), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
 }
 
 // Flush asks the daemon to drain its staging tier.
 func (c *Client) Flush() error {
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/flush", nil)
+	return c.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush under ctx with the client's retry policy.
+func (c *Client) FlushCtx(ctx context.Context) error {
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/flush", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
+}
+
+// ArmFaults arms fault-injection rules on the daemon via POST
+// /v1/faults and returns the resulting injector state.
+func (c *Client) ArmFaults(req FaultsRequest) (FaultsPayload, error) {
+	var out FaultsPayload
+	b, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/faults", bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hreq)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Faults fetches the daemon's armed fault rules and fire counts.
+func (c *Client) Faults() (FaultsPayload, error) {
+	var out FaultsPayload
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/faults", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// ClearFaults disarms every fault rule on the daemon.
+func (c *Client) ClearFaults() error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/faults", nil)
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silica/internal/faults"
 	"silica/internal/media"
 	"silica/internal/obs"
 	"silica/internal/repair"
@@ -95,6 +96,19 @@ type Config struct {
 	// dedicated ring regardless of sampling, so the tail stays visible.
 	TraceSample int
 	TraceSlow   time.Duration
+
+	// RetryAfter is the backoff hint emitted in the Retry-After header
+	// with every 429/503 response. 0 takes the default (1s); tests use
+	// small values so retry loops stay fast.
+	RetryAfter time.Duration
+
+	// FaultRules arms the fault injector at startup (one rule per
+	// string, faults.ParseRule grammar). FaultSeed seeds the injector's
+	// probabilistic triggers; rules can also be armed at runtime via
+	// POST /v1/faults. Leave Service.Faults nil to let the gateway
+	// build the injector.
+	FaultRules []string
+	FaultSeed  uint64
 }
 
 // DefaultConfig returns a small but genuinely concurrent gateway over
@@ -113,6 +127,7 @@ func DefaultConfig() Config {
 		Repair:               repair.DefaultConfig(),
 		TraceSample:          8,
 		TraceSlow:            500 * time.Millisecond,
+		RetryAfter:           time.Second,
 	}
 }
 
@@ -144,6 +159,10 @@ type request struct {
 	// queueSpan times the wait between admission and pickup.
 	ctx       context.Context
 	queueSpan obs.SpanEnd
+	// canceledOnce dedupes cancellation accounting: the submitter (on
+	// abandon) and the worker (on pickup skip) both observe the same
+	// canceled request, but it must count once.
+	canceledOnce atomic.Bool
 }
 
 type response struct {
@@ -157,6 +176,7 @@ type Counters struct {
 	Accepted  int64 // requests admitted to a queue
 	Rejected  int64 // admission-control rejections (ErrOverloaded)
 	Completed int64 // requests fully served (including with errors)
+	Canceled  int64 // requests abandoned by their caller's context
 	Flushes   int64 // flush passes run (scheduled or explicit)
 }
 
@@ -176,6 +196,13 @@ type Gateway struct {
 	admitMu sync.RWMutex
 	closed  bool
 
+	// flushGate serializes explicit flushes with shutdown: FlushCtx
+	// holds the read side for the duration of its drain, Close takes
+	// the write side for the final drain and then sets drained, after
+	// which explicit flushes return ErrClosed.
+	flushGate sync.RWMutex
+	drained   bool
+
 	flushKick chan struct{}
 	stop      chan struct{}
 	workerWG  sync.WaitGroup
@@ -191,6 +218,7 @@ type Gateway struct {
 	accepted  atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+	canceled  atomic.Int64
 	flushes   atomic.Int64
 }
 
@@ -223,6 +251,18 @@ func New(cfg Config) (*Gateway, error) {
 	cfg.Repair.Metrics = reg
 	if cfg.TraceSample < 1 {
 		cfg.TraceSample = DefaultConfig().TraceSample
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultConfig().RetryAfter
+	}
+	if cfg.Service.Faults == nil {
+		cfg.Service.Faults = faults.New(cfg.FaultSeed)
+	}
+	cfg.Service.Faults.MapError("overloaded", ErrOverloaded)
+	for _, rule := range cfg.FaultRules {
+		if err := cfg.Service.Faults.ArmString(rule); err != nil {
+			return nil, fmt.Errorf("gateway: bad fault rule %q: %w", rule, err)
+		}
 	}
 	svc, err := service.New(cfg.Service)
 	if err != nil {
@@ -274,6 +314,10 @@ func (g *Gateway) Service() *service.Service { return g.svc }
 // Repair exposes the background repair manager (nil when disabled).
 func (g *Gateway) Repair() *repair.Manager { return g.repair }
 
+// Faults exposes the fault injector (armed via Config.FaultRules, the
+// in-process API in tests, or POST /v1/faults).
+func (g *Gateway) Faults() *faults.Injector { return g.svc.Faults() }
+
 // HealthPlatters snapshots the platter health registry.
 func (g *Gateway) HealthPlatters() repair.Snapshot {
 	return g.svc.Health().Snapshot()
@@ -313,14 +357,26 @@ func (g *Gateway) submit(req *request) response {
 	if obs.FromContext(req.ctx) == nil {
 		req.ctx, owned = g.tracer.Start(req.ctx, req.op.class())
 	}
+	if err := req.ctx.Err(); err != nil {
+		// Dead on arrival: never admit work whose caller already left.
+		g.countCanceled(req)
+		g.tracer.Finish(owned)
+		return response{err: fmt.Errorf("gateway: canceled before admission: %w", err)}
+	}
 	q := g.readq
 	if req.op != opGet {
 		q = g.writeq
-		if err := g.admitWrite(); err != nil {
-			g.rejected.Add(1)
-			cm.rejected.Inc()
-			g.tracer.Finish(owned)
-			return response{err: err}
+		// The staging high watermark guards capacity that only Puts
+		// consume; Deletes share the write queue but must stay
+		// admissible under a full tier (freeing space is how the
+		// operator gets out of that state).
+		if req.op == opPut {
+			if err := g.admitWrite(); err != nil {
+				g.rejected.Add(1)
+				cm.rejected.Inc()
+				g.tracer.Finish(owned)
+				return response{err: err}
+			}
 		}
 	}
 	req.done = make(chan response, 1)
@@ -329,6 +385,7 @@ func (g *Gateway) submit(req *request) response {
 	g.admitMu.RLock()
 	if g.closed {
 		g.admitMu.RUnlock()
+		req.queueSpan.End()
 		g.tracer.Finish(owned)
 		return response{err: ErrClosed}
 	}
@@ -339,6 +396,7 @@ func (g *Gateway) submit(req *request) response {
 		cm.admitted.Inc()
 	default:
 		g.admitMu.RUnlock()
+		req.queueSpan.End()
 		g.rejected.Add(1)
 		cm.rejected.Inc()
 		g.tracer.Finish(owned)
@@ -347,9 +405,29 @@ func (g *Gateway) submit(req *request) response {
 		}
 		return response{err: fmt.Errorf("%w: %s queue full", ErrOverloaded, req.op.class())}
 	}
-	resp := <-req.done
-	g.tracer.Finish(owned)
-	return resp
+	select {
+	case resp := <-req.done:
+		g.tracer.Finish(owned)
+		return resp
+	case <-req.ctx.Done():
+		// The caller abandoned a queued (or in-flight) request: answer
+		// immediately with its ctx error. The worker still owns the
+		// request object — done is buffered so its eventual send never
+		// blocks, and the req.ctx checks at pickup and inside the
+		// service stop the work itself from running.
+		g.countCanceled(req)
+		g.tracer.Finish(owned)
+		return response{err: fmt.Errorf("gateway: request abandoned: %w", req.ctx.Err())}
+	}
+}
+
+// countCanceled records one request's cancellation exactly once, no
+// matter how many vantage points (submitter, worker) observe it.
+func (g *Gateway) countCanceled(req *request) {
+	if req.canceledOnce.CompareAndSwap(false, true) {
+		g.canceled.Add(1)
+		g.gm.cls[req.op].canceled.Inc()
+	}
 }
 
 // admitWrite applies the staging high watermark before a write enters
@@ -374,6 +452,13 @@ func (g *Gateway) worker(q chan *request) {
 	defer g.workerWG.Done()
 	for req := range q {
 		req.queueSpan.End()
+		if err := req.ctx.Err(); err != nil {
+			// The caller gave up while the request sat queued: skip it
+			// entirely — it must never reach the service layer.
+			g.countCanceled(req)
+			req.done <- response{err: fmt.Errorf("gateway: canceled while queued: %w", err)}
+			continue
+		}
 		t0 := time.Now()
 		var resp response
 		switch req.op {
@@ -388,7 +473,7 @@ func (g *Gateway) worker(q chan *request) {
 		case opGet:
 			resp.data, resp.err = g.svc.GetCtx(req.ctx, req.account, req.name)
 		case opDelete:
-			resp.err = g.svc.Delete(req.account, req.name)
+			resp.err = g.svc.DeleteCtx(req.ctx, req.account, req.name)
 		}
 		cm := &g.gm.cls[req.op]
 		seconds := time.Since(t0).Seconds()
@@ -427,7 +512,13 @@ func (g *Gateway) GetCtx(ctx context.Context, account, name string) ([]byte, err
 
 // Delete removes account/name (crypto-shredding its keys).
 func (g *Gateway) Delete(account, name string) error {
-	return g.submit(&request{op: opDelete, account: account, name: name}).err
+	return g.DeleteCtx(context.Background(), account, name)
+}
+
+// DeleteCtx is Delete carrying ctx (and any trace in it) through the
+// queue into the service.
+func (g *Gateway) DeleteCtx(ctx context.Context, account, name string) error {
+	return g.submit(&request{op: opDelete, account: account, name: name, ctx: ctx}).err
 }
 
 // Flush forces a full drain of the staging tier, bypassing the
@@ -440,8 +531,21 @@ func (g *Gateway) Flush() error {
 }
 
 // FlushCtx is Flush carrying ctx (and any trace in it) into the
-// service's flush pipeline.
+// service's flush pipeline. Explicit flushes hold the read side of
+// flushGate so they cannot race Close's final drain; after that drain
+// completes, FlushCtx returns ErrClosed.
 func (g *Gateway) FlushCtx(ctx context.Context) error {
+	g.flushGate.RLock()
+	defer g.flushGate.RUnlock()
+	if g.drained {
+		return ErrClosed
+	}
+	return g.flushLocked(ctx)
+}
+
+// flushLocked runs one flush pass. Callers hold flushGate (read side
+// for explicit flushes, write side for Close's final drain).
+func (g *Gateway) flushLocked(ctx context.Context) error {
 	var owned *obs.Trace
 	if obs.FromContext(ctx) == nil {
 		ctx, owned = g.tracer.Start(ctx, "flush")
@@ -463,6 +567,7 @@ func (g *Gateway) Counters() Counters {
 		Accepted:  g.accepted.Load(),
 		Rejected:  g.rejected.Load(),
 		Completed: g.completed.Load(),
+		Canceled:  g.canceled.Load(),
 		Flushes:   g.flushes.Load(),
 	}
 }
@@ -490,5 +595,13 @@ func (g *Gateway) Close() error {
 	g.workerWG.Wait() // queues drained, in-flight requests answered
 	close(g.stop)
 	g.schedWG.Wait()
-	return g.Flush() // final drain: staged data becomes durable
+	// Final drain: staged data becomes durable. The write side of
+	// flushGate waits for any explicit Flush still in flight, and
+	// drained flips before release so later explicit flushes get
+	// ErrClosed instead of racing a closed service.
+	g.flushGate.Lock()
+	defer g.flushGate.Unlock()
+	err := g.flushLocked(context.Background())
+	g.drained = true
+	return err
 }

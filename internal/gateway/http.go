@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"silica/internal/faults"
 	"silica/internal/media"
 	"silica/internal/metadata"
 	"silica/internal/repair"
@@ -33,10 +35,15 @@ import (
 //	                                          staging, codec, repair families)
 //	GET    /v1/traces                       → TracesPayload JSON: recent sampled traces;
 //	                                          ?slow=1 returns the slow-trace ring
+//	POST   /v1/faults                       → FaultsPayload JSON (arm fault-injection
+//	                                          rules; body = FaultsRequest)
+//	GET    /v1/faults                       → FaultsPayload JSON (armed rules + fire counts)
+//	DELETE /v1/faults                       → FaultsPayload JSON (disarm everything)
 //
 // Overload (queue full, staging watermark, staging capacity) returns
-// 429 with a Retry-After header; unknown objects 404; unrecoverable
-// data 503.
+// 429; shutdown, injected faults, and unrecoverable data return 503.
+// Both carry a Retry-After header with the server's backoff hint.
+// Unknown objects return 404, caller deadline expiry 504.
 
 // MaxObjectBytes caps a single PUT body; larger files belong to a
 // multipart path this reproduction does not model.
@@ -55,6 +62,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/repair/{platter}", g.handleRepair)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/traces", g.handleTraces)
+	mux.HandleFunc("POST /v1/faults", g.handleFaultsArm)
+	mux.HandleFunc("GET /v1/faults", g.handleFaultsList)
+	mux.HandleFunc("DELETE /v1/faults", g.handleFaultsClear)
 	return mux
 }
 
@@ -108,23 +118,40 @@ func objectKey(r *http.Request) (account, name string, ok bool) {
 	return account, name, account != "" && name != ""
 }
 
-// writeErr maps service-layer errors onto HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
+// statusClientClosedRequest is the nginx convention for "the caller
+// went away before we answered"; no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// writeErr maps service-layer errors onto HTTP statuses. Every
+// retryable status (429 and 503) carries a Retry-After header with the
+// server's backoff hint so well-behaved clients pace themselves.
+func (g *Gateway) writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, staging.ErrCapacity):
-		w.Header().Set("Retry-After", "1")
+		g.setRetryAfter(w)
 		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, service.ErrUnavailable), errors.Is(err, faults.ErrInjected):
+		g.setRetryAfter(w)
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, metadata.ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, service.ErrUnavailable):
-		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosedRequest
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// setRetryAfter emits the configured backoff hint. The header is
+// formatted as seconds with fractional precision — standard
+// delta-seconds for whole values, and our own client understands the
+// fractional form tests rely on for fast retry loops.
+func (g *Gateway) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.FormatFloat(g.cfg.RetryAfter.Seconds(), 'g', -1, 64))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -145,7 +172,7 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	version, err := g.PutCtx(r.Context(), account, name, data)
 	if err != nil {
-		writeErr(w, err)
+		g.writeErr(w, err)
 		return
 	}
 	writeJSON(w, map[string]int{"version": version})
@@ -159,7 +186,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := g.GetCtx(r.Context(), account, name)
 	if err != nil {
-		writeErr(w, err)
+		g.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -172,8 +199,8 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need /v1/objects/{account}/{name}", http.StatusBadRequest)
 		return
 	}
-	if err := g.Delete(account, name); err != nil {
-		writeErr(w, err)
+	if err := g.DeleteCtx(r.Context(), account, name); err != nil {
+		g.writeErr(w, err)
 		return
 	}
 	writeJSON(w, map[string]bool{"deleted": true})
@@ -181,10 +208,63 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if err := g.FlushCtx(r.Context()); err != nil {
-		writeErr(w, err)
+		g.writeErr(w, err)
 		return
 	}
 	writeJSON(w, map[string]bool{"flushed": true})
+}
+
+// FaultsRequest is the POST /v1/faults body: structured rules, string
+// rules in the faults.ParseRule grammar, or both.
+type FaultsRequest struct {
+	Rules []faults.Rule `json:"rules,omitempty"`
+	Arm   []string      `json:"arm,omitempty"`
+}
+
+// FaultsPayload reports the injector state after any mutation.
+type FaultsPayload struct {
+	Total int64               `json:"total_injected"`
+	Rules []faults.RuleStatus `json:"rules"`
+}
+
+func (g *Gateway) faultsPayload() FaultsPayload {
+	inj := g.Faults()
+	p := FaultsPayload{Total: inj.Total(), Rules: inj.Snapshot()}
+	if p.Rules == nil {
+		p.Rules = []faults.RuleStatus{}
+	}
+	return p
+}
+
+func (g *Gateway) handleFaultsArm(w http.ResponseWriter, r *http.Request) {
+	var req FaultsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	inj := g.Faults()
+	for _, rule := range req.Rules {
+		if err := inj.Arm(rule); err != nil {
+			http.Error(w, "rule: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	for _, s := range req.Arm {
+		if err := inj.ArmString(s); err != nil {
+			http.Error(w, "rule: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	writeJSON(w, g.faultsPayload())
+}
+
+func (g *Gateway) handleFaultsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, g.faultsPayload())
+}
+
+func (g *Gateway) handleFaultsClear(w http.ResponseWriter, r *http.Request) {
+	g.Faults().Clear()
+	writeJSON(w, g.faultsPayload())
 }
 
 // StatsSnapshot is the /v1/stats payload.

@@ -12,6 +12,7 @@ type classMetrics struct {
 	admitted  *obs.Counter
 	rejected  *obs.Counter
 	completed *obs.Counter
+	canceled  *obs.Counter
 	seconds   *obs.Histogram
 }
 
@@ -36,6 +37,8 @@ func newGatewayMetrics(reg *obs.Registry, g *Gateway) gatewayMetrics {
 				"Admission-control rejections (HTTP 429).", c),
 			completed: reg.Counter("silica_gateway_completed_total",
 				"Requests fully served, including with errors.", c),
+			canceled: reg.Counter("silica_gateway_canceled_total",
+				"Requests abandoned by their caller's context before or while queued.", c),
 			seconds: reg.Histogram("silica_gateway_request_seconds",
 				"Queue wait plus service time per request.", obs.DurationBuckets(), c),
 		}

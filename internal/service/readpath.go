@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"silica/internal/faults"
 	"silica/internal/keystore"
 	"silica/internal/media"
 	"silica/internal/metadata"
@@ -37,6 +38,9 @@ func (s *Service) GetCtx(ctx context.Context, account, name string) ([]byte, err
 	key := metadata.FileKey{Account: account, Name: name}
 	rng := s.readRNG()
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("service: get canceled: %w", err)
+		}
 		v, err := s.meta.Get(key)
 		if err != nil {
 			return nil, err
@@ -155,11 +159,18 @@ func (s *Service) readInfoSector(ctx context.Context, id media.PlatterID, infoSe
 // decodeSector attempts a direct LDPC decode of one physical sector,
 // descrambling the payload (see scramble in writepath.go). Published
 // platter media is immutable, so no lock is held across the decode.
+// Injected media.read faults land here, upstream of the decode, so
+// every consumer — foreground reads, within-track repair, large-group
+// rebuild, set recovery, and the rebuilder's member decode — sees the
+// same failure surface and escalates through the normal hierarchy.
 func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
 	cs := s.acquireScratch()
 	defer s.releaseScratch(cs)
 	symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: physTrack, Sector: sPos}, cs.symbols)
 	if !ok {
+		return nil, false
+	}
+	if err := s.faults.CheckData(faults.OpMediaRead, int64(pi.platter.ID), physTrack, sPos, symbols); err != nil {
 		return nil, false
 	}
 	res := s.pipe.ReadSectorWith(cs.sector, symbols, rng)

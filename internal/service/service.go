@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"silica/internal/codec"
+	"silica/internal/faults"
 	"silica/internal/keystore"
 	"silica/internal/ldpc"
 	"silica/internal/media"
@@ -76,6 +77,10 @@ type Config struct {
 	// Nil gets a private registry, so instrumentation is always live
 	// and callers never nil-check.
 	Metrics *obs.Registry
+	// Faults, when set, is consulted at the pipeline's injection
+	// points (media reads/writes, staging reservations, flush phases).
+	// Nil disables fault injection at zero cost.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns an in-memory full-codec service.
@@ -156,6 +161,7 @@ type Service struct {
 	meta   *metadata.Store
 	tier   *staging.Tier
 	health *repair.Registry
+	faults *faults.Injector // nil-safe; Config.Faults
 
 	withinTrack *nc.Group
 	largeGroup  *nc.Group
@@ -222,6 +228,7 @@ func New(cfg Config) (*Service, error) {
 		meta:        metadata.NewStore(),
 		tier:        staging.NewTier(cfg.StagingCapacity),
 		health:      repair.NewRegistry(),
+		faults:      cfg.Faults,
 		withinTrack: wt,
 		largeGroup:  lg,
 		setGroup:    sg,
@@ -235,8 +242,17 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.om = newServiceMetrics(s.reg, s.tier.Usage)
 	s.eng.Instrument(s.reg)
+	// Error classes a rule's err= field may name at this layer; the
+	// gateway adds its own (overloaded) on top.
+	s.faults.MapError("capacity", staging.ErrCapacity)
+	s.faults.MapError("unavailable", ErrUnavailable)
+	s.faults.Instrument(s.reg)
 	return s, nil
 }
+
+// Faults exposes the fault injector (nil when disabled), for the
+// gateway's admin endpoint.
+func (s *Service) Faults() *faults.Injector { return s.faults }
 
 // codecScratch is one worker's reusable buffers for the sector hot
 // paths: the voxel/LDPC pipeline scratch, a scramble output buffer, and
@@ -333,16 +349,30 @@ func (s *Service) Put(account, name string, data []byte) (int, error) {
 
 // PutCtx is Put recording trace spans (reserve, encrypt, stage) into
 // the trace carried by ctx, if any. An untraced ctx costs one nil
-// check per span.
+// check per span. Cancellation is honored at stage boundaries: a Put
+// abandoned between reserve and stage cancels its reservation and
+// returns an error wrapping ctx.Err(), never leaving half-registered
+// state behind.
 func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("service: put canceled: %w", err)
+	}
 	key := metadata.FileKey{Account: account, Name: name}
 	ctSize := int64(len(data)) + keystore.Overhead
 	reserve := obs.StartSpan(ctx, "reserve")
+	if err := s.faults.Check(faults.OpStagingReserve, -1, -1, -1); err != nil {
+		reserve.End()
+		return 0, err
+	}
 	if err := s.tier.Reserve(ctSize); err != nil {
 		reserve.End()
 		return 0, err
 	}
 	reserve.End()
+	if err := ctx.Err(); err != nil {
+		s.tier.CancelReservation(ctSize)
+		return 0, fmt.Errorf("service: put canceled after reserve: %w", err)
+	}
 	// Key ids are opaque and unique per Put; the version cannot be
 	// named yet because metadata registration comes last.
 	encrypt := obs.StartSpan(ctx, "encrypt")
@@ -359,6 +389,11 @@ func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte)
 		_ = s.keys.Shred(kid)
 		return 0, err
 	}
+	if err := ctx.Err(); err != nil {
+		s.tier.CancelReservation(ctSize)
+		_ = s.keys.Shred(kid)
+		return 0, fmt.Errorf("service: put canceled after encrypt: %w", err)
+	}
 	stage := obs.StartSpan(ctx, "stage")
 	arrival := s.arrival()
 	v := s.meta.Put(key, int64(len(data)), kid, arrival)
@@ -372,6 +407,16 @@ func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte)
 // Delete removes the file's pointers and shreds all its keys: the
 // glass copies become permanently unreadable ciphertext (§3).
 func (s *Service) Delete(account, name string) error {
+	return s.DeleteCtx(context.Background(), account, name)
+}
+
+// DeleteCtx is Delete honoring cancellation before the point of no
+// return: once key shredding starts the delete always completes (a
+// half-shredded file must not look readable).
+func (s *Service) DeleteCtx(ctx context.Context, account, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("service: delete canceled: %w", err)
+	}
 	key := metadata.FileKey{Account: account, Name: name}
 	kids, err := s.meta.Delete(key)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"silica/internal/faults"
 	"silica/internal/layout"
 	"silica/internal/media"
 	"silica/internal/metadata"
@@ -44,6 +45,15 @@ func (s *Service) FlushCtx(ctx context.Context) error {
 	defer s.flushMu.Unlock()
 	noProgress := 0
 	for {
+		// Cancellation is honored between rounds: a canceled flush
+		// leaves every unfinished file staged for the next pass, never
+		// half-published.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("service: flush canceled: %w", err)
+		}
+		if err := s.faults.Check(faults.OpFlushBatch, -1, -1, -1); err != nil {
+			return err
+		}
 		batchDone := phaseTimer(s.om.phaseBatch)
 		batch := s.tier.NextBatch(s.platterTargetBytes())
 		if len(batch) == 0 {
@@ -99,7 +109,15 @@ func (s *Service) FlushCtx(ctx context.Context) error {
 			return err
 		}
 		// Phase 3 (serial, plan order): publish verified platters,
-		// record extents, and complete platter-sets.
+		// record extents, and complete platter-sets. A publish-phase
+		// fault (or cancellation) before this point drops the private
+		// platters entirely; their files stay staged and re-batch.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("service: flush canceled before publish: %w", err)
+		}
+		if err := s.faults.Check(faults.OpFlushPublish, -1, -1, -1); err != nil {
+			return err
+		}
 		publish := obs.StartSpan(ctx, "publish")
 		publishDone := phaseTimer(s.om.phasePublish)
 		for _, pd := range pend {
@@ -117,7 +135,9 @@ func (s *Service) FlushCtx(ctx context.Context) error {
 				st.BytesStored += int64(pd.plan.SectorsUsed) * int64(s.cfg.Geom.SectorPayloadBytes)
 			})
 			s.publishPlatter(pd.id, pd.pi, "published")
-			s.addToSet(pd.id, pd.pi)
+			if err := s.addToSet(pd.id, pd.pi); err != nil {
+				return err
+			}
 			for _, e := range pd.plan.Entries {
 				fid := fileID(e.Key, e.Version)
 				extents[fid] = append(extents[fid], metadata.Extent{
@@ -216,6 +236,9 @@ func (s *Service) buildPlatter(ctx context.Context, pd *pendingPlatter, byID map
 	p := media.NewPlatter(pd.id, geom)
 	pi := &platterInfo{platter: p, set: -1}
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("service: flush canceled before encode: %w", err)
+	}
 	encode := obs.StartSpan(ctx, "encode")
 	encodeDone := phaseTimer(s.om.phaseEncode)
 	// Assemble info-sector payloads in plan order.
@@ -249,9 +272,30 @@ func (s *Service) buildPlatter(ctx context.Context, pd *pendingPlatter, byID map
 	encode.End()
 	encodeDone()
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("service: flush canceled before burn: %w", err)
+	}
 	burn := obs.StartSpan(ctx, "burn")
 	burnDone := phaseTimer(s.om.phaseBurn)
-	if err := s.burnPlatter(pi, payloads); err != nil {
+	err := s.faults.Check(faults.OpFlushBurn, int64(pd.id), -1, -1)
+	if err == nil {
+		err = s.burnPlatter(pi, payloads)
+	}
+	if err != nil {
+		burn.End()
+		burnDone()
+		if errors.Is(err, faults.ErrInjected) {
+			// An injected write-drive fault is a per-platter event, not
+			// a pipeline failure: the platter is scrapped (the publish
+			// phase counts it faulted via pd.ok == false), its files
+			// stay staged, and the next round burns them onto fresh
+			// glass. A pre-burn fault leaves the platter Blank; only a
+			// started burn can legally transition to Faulted.
+			if p.State() == media.Writing {
+				_ = p.Transition(media.Faulted)
+			}
+			return nil
+		}
 		return err
 	}
 	burn.End()
@@ -260,9 +304,15 @@ func (s *Service) buildPlatter(ctx context.Context, pd *pendingPlatter, byID map
 	if err := p.Transition(media.Verifying); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("service: flush canceled before verify: %w", err)
+	}
 	verify := obs.StartSpan(ctx, "verify")
 	verifyDone := phaseTimer(s.om.phaseVerify)
 	ok := s.verifyPlatter(pi, usedTracks, pd.rng)
+	if ok && s.faults.Check(faults.OpFlushVerify, int64(pd.id), -1, -1) != nil {
+		ok = false // injected verification failure: files stay staged
+	}
 	verify.End()
 	verifyDone()
 	if !ok {
@@ -435,9 +485,16 @@ func scrambleInto(dst, payload []byte, platter media.PlatterID, track, sector in
 }
 
 // writeSectorScrambled scrambles, modulates, and writes one sector
-// using cs's buffers; pmu serializes the media insert.
+// using cs's buffers; pmu serializes the media insert. media.write
+// faults land between modulation and the media insert: an error-mode
+// rule fails the write (the platter is scrapped and its files stay
+// staged), a partial-mode rule corrupts the modulated symbols so the
+// damage is caught downstream by verification instead.
 func (s *Service) writeSectorScrambled(cs *codecScratch, pmu *sync.Mutex, p *media.Platter, id media.SectorID, payload []byte) error {
 	symbols := s.pipe.WriteSectorWith(cs.sector, scrambleInto(cs.scramble, payload, p.ID, id.Track, id.Sector))
+	if err := s.faults.CheckData(faults.OpMediaWrite, int64(p.ID), id.Track, id.Sector, symbols); err != nil {
+		return err
+	}
 	pmu.Lock()
 	err := p.WriteSector(id, symbols) // copies symbols before returning
 	pmu.Unlock()
@@ -520,14 +577,14 @@ func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) b
 // platters are written and the set closes (§6). The redundancy encode
 // and write — the heavy part — runs outside the index lock; the set
 // only becomes visible to recovery reads once fully protected.
-func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
+func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) error {
 	s.mu.Lock()
 	pi.set = len(s.sets)
 	pi.setPos = len(s.pendingSet)
 	s.pendingSet = append(s.pendingSet, id)
 	if len(s.pendingSet) < s.cfg.SetInfo {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	members := append([]media.PlatterID(nil), s.pendingSet...)
 	s.pendingSet = nil
@@ -576,21 +633,10 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 	})
 	setIdx := infos[0].set
 	for r := 0; r < s.cfg.SetRed; r++ {
-		rid := s.allocPlatterID()
-		rng := s.writeRNG(rid)
-		rpi := &platterInfo{
-			platter: media.NewPlatter(rid, geom), payloads: redPayloads[r],
-			usedInfoSectors: maxSectors,
-			set:             setIdx, setPos: s.cfg.SetInfo + r, isRedundancy: true,
+		rpi, rid, err := s.burnRedundancyPlatter(redPayloads[r], maxSectors, setIdx, s.cfg.SetInfo+r, iPerTrack)
+		if err != nil {
+			return err
 		}
-		if err := s.burnPlatter(rpi, redPayloads[r]); err != nil {
-			// Construction guarantees shapes; treat as programmer error.
-			panic(err)
-		}
-		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
-		mustTransition(rpi.platter, media.Verifying)
-		s.verifyPlatter(rpi, usedTracks, rng)
-		mustTransition(rpi.platter, media.Stored)
 		s.publishPlatter(rid, rpi, "published (set redundancy)")
 		members = append(members, rid)
 		s.addStats(func(st *Stats) {
@@ -611,6 +657,45 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) {
 		s.health.SetPlacement(m, setIdx, pos, pos >= s.cfg.SetInfo)
 	}
 	s.addStats(func(st *Stats) { st.SetsCompleted++ })
+	return nil
+}
+
+// burnRedundancyPlatter writes one set-redundancy platter. An injected
+// media-write fault scraps the partially burned platter and retries on
+// fresh glass with a fresh scramble seed; any other burn error is a
+// shape bug and propagates. Verification mirrors the historical
+// behavior for redundancy platters: failures are counted in the stats
+// but do not block the set (recovery decodes from glass regardless).
+func (s *Service) burnRedundancyPlatter(payloads [][]byte, maxSectors, setIdx, setPos, iPerTrack int) (*platterInfo, media.PlatterID, error) {
+	const maxAttempts = 4
+	geom := s.cfg.Geom
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rid := s.allocPlatterID()
+		rng := s.writeRNG(rid)
+		rpi := &platterInfo{
+			platter: media.NewPlatter(rid, geom), payloads: payloads,
+			usedInfoSectors: maxSectors,
+			set:             setIdx, setPos: setPos, isRedundancy: true,
+		}
+		if err := s.burnPlatter(rpi, payloads); err != nil {
+			if errors.Is(err, faults.ErrInjected) {
+				if rpi.platter.State() == media.Writing {
+					_ = rpi.platter.Transition(media.Faulted)
+				}
+				s.addStats(func(st *Stats) { st.PlattersFaulted++ })
+				lastErr = err
+				continue
+			}
+			return nil, 0, err
+		}
+		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
+		mustTransition(rpi.platter, media.Verifying)
+		s.verifyPlatter(rpi, usedTracks, rng)
+		mustTransition(rpi.platter, media.Stored)
+		return rpi, rid, nil
+	}
+	return nil, 0, fmt.Errorf("service: set redundancy burn failed after %d attempts: %w", maxAttempts, lastErr)
 }
 
 func mustTransition(p *media.Platter, st media.PlatterState) {

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke bench clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke bench clean
 
 all: tier1
 
@@ -66,9 +66,20 @@ obs-smoke:
 	  done; \
 	  echo "obs-smoke: all metric families present"
 
+# Crash-recovery smoke: the durability contract under kill -9. Runs
+# the in-process kill-point test (freeze the WAL mid-flush under
+# concurrent load, tear the tail, recover byte-exact) and the
+# subprocess test (build silicad, kill it at a platter publication via
+# an armed fault rule, restart from -persist-dir, audit over HTTP).
+crash-smoke:
+	SILICA_CRASH_SMOKE=1 $(GO) test ./internal/gateway \
+		-run 'TestCrashMidFlushRecovery|TestCrashSmokeSilicad' -v -timeout 600s
+
 # Codec benchmarks: GF(256) kernels, per-sector encode/decode, and the
 # parallel burn/flush paths at workers=1 vs workers=GOMAXPROCS. Raw
-# `go test -json` events land in BENCH_codec.json for trend tracking.
+# `go test -json` events land in BENCH_codec.json for trend tracking;
+# the burn/flush rows carry `workers` and `MB/s/core` metrics so runs
+# on different core counts compare per-core scaling directly.
 bench:
 	$(GO) test -json -run '^$$' \
 		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel' \

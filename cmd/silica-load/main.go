@@ -56,6 +56,7 @@ func main() {
 		rebuildWait   = flag.Duration("rebuild-wait", 60*time.Second, "max wait for the killed platter's rebuild before verification")
 		clientRetry   = flag.Bool("client-retry", false, "-url mode: retry 429/503 inside the HTTP client (jittered backoff, honors Retry-After)")
 		faultSeed     = flag.Uint64("fault-seed", 0, "in-process mode: seed for probabilistic fault triggers")
+		persistDir    = flag.String("persist-dir", "", "in-process mode: durability directory (snapshot+WAL; empty = in-memory)")
 	)
 	var faultRules multiFlag
 	flag.Var(&faultRules, "fault", "in-process mode: fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
@@ -98,6 +99,7 @@ func main() {
 		cfg.StagingHighWatermark = *highWatermark
 		cfg.FaultSeed = *faultSeed
 		cfg.FaultRules = faultRules
+		cfg.Service.PersistDir = *persistDir
 		if *platterTracks > 0 {
 			cfg.Service.Geom.TracksPerPlatter = *platterTracks
 		}

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"silica/internal/costmodel"
 	"silica/internal/gateway"
 	"silica/internal/media"
 	"silica/internal/obs"
@@ -47,6 +48,8 @@ func main() {
 		repairCmd(os.Args[2:])
 	case "metrics":
 		metricsCmd(os.Args[2:])
+	case "cost":
+		costCmd(os.Args[2:])
 	case "top":
 		top(os.Args[2:])
 	default:
@@ -63,8 +66,63 @@ func usage() {
   silicactl health -url URL      platter health registry of a running silicad
   silicactl repair -url URL ID   fail + rebuild platter ID on a running silicad
   silicactl metrics -url URL     dump a running silicad's raw /metrics text
-  silicactl top -url URL         live telemetry table from /metrics (-n 1 for one shot)`)
+  silicactl top -url URL         live telemetry table from /metrics (-n 1 for one shot)
+  silicactl cost                 §9 TCO comparison tape/HDD/Silica (-url to price on a
+                                 running silicad; -archive-tb/-horizon/... set workload)`)
 	os.Exit(2)
+}
+
+// costCmd prints the §9 total-cost-of-ownership comparison. By default
+// it prices the workload locally (the model is pure computation); with
+// -url it asks a running silicad's GET /v1/cost instead, exercising
+// the HTTP surface end to end.
+func costCmd(args []string) {
+	fs := flag.NewFlagSet("cost", flag.ExitOnError)
+	url := fs.String("url", "", "silicad base URL (empty = compute locally)")
+	archive := fs.Float64("archive-tb", 0, "initial archive size in TB (0 = default workload)")
+	horizon := fs.Float64("horizon", 0, "horizon in years")
+	readTB := fs.Float64("read-tb-year", -1, "customer reads per year, TB")
+	writeTB := fs.Float64("write-tb-year", -1, "ingress per year, TB")
+	fs.Parse(args)
+
+	wl := costmodel.DefaultWorkload()
+	if *archive > 0 {
+		wl.ArchiveTB = *archive
+	}
+	if *horizon > 0 {
+		wl.HorizonYears = *horizon
+	}
+	if *readTB >= 0 {
+		wl.ReadTBPerYear = *readTB
+	}
+	if *writeTB >= 0 {
+		wl.WriteTBPerYear = *writeTB
+	}
+
+	var p gateway.CostPayload
+	if *url != "" {
+		var err error
+		p, err = gateway.NewClient(*url).Cost(wl)
+		check(err)
+	} else {
+		p = gateway.BuildCostPayload(wl)
+	}
+
+	fmt.Printf("workload: %.0f TB archive, %.0f y horizon, %.0f TB/y reads, %.0f TB/y ingress\n\n",
+		p.Workload.ArchiveTB, p.Workload.HorizonYears, p.Workload.ReadTBPerYear, p.Workload.WriteTBPerYear)
+	fmt.Printf("%-8s %10s %4s %12s %10s %10s %10s %10s %12s %10s %12s\n",
+		"tech", "media", "mig", "migration", "scrub", "environ", "user-io", "process",
+		"total $", "$/TB-y", "carbon kg")
+	for _, e := range p.Technologies {
+		b := e.Breakdown
+		fmt.Printf("%-8s %10.0f %4d %12.0f %10.0f %10.0f %10.0f %10.0f %12.0f %10.4f %12.0f\n",
+			b.Technology, b.Media, b.Migrations, b.MigrationIO, b.Scrubbing,
+			b.Environmental, b.UserIO, b.Processing, e.Total, e.PerTBYear, b.CarbonKg)
+	}
+	fmt.Printf("\n%-40s %-5s %s\n", "dimension", "tape", "silica")
+	for _, r := range p.Table2 {
+		fmt.Printf("%-40s %-5s %s\n", r.Dimension, r.Tape, r.Silica)
+	}
 }
 
 // metricsCmd dumps the raw Prometheus exposition of a running daemon —

@@ -17,6 +17,13 @@
 //	POST   /v1/faults                     arm fault-injection rules at runtime
 //	GET    /v1/faults                     list armed rules and fire counts
 //	DELETE /v1/faults                     disarm all fault rules
+//	GET    /v1/cost                       §9 TCO comparison (tape/HDD/Silica)
+//
+// With -persist-dir the daemon is durable: it recovers snapshot+WAL
+// state from the directory on start, fsyncs the WAL before every
+// acknowledgment, and snapshots on graceful shutdown. kill-mode fault
+// rules (e.g. -fault kill@publish.platter:after=1,count=1) exit with
+// code 137 at the chosen pipeline point for crash drills.
 //
 // Fault injection (-fault, repeatable) arms deterministic failure
 // rules at startup, e.g.
@@ -71,6 +78,8 @@ func main() {
 		codecWorkers  = flag.Int("codec-workers", 0, "codec engine parallelism (0 = GOMAXPROCS, 1 = serial)")
 		retryAfter    = flag.Duration("retry-after", time.Second, "backoff hint sent in Retry-After on 429/503")
 		faultSeed     = flag.Uint64("fault-seed", 0, "seed for probabilistic fault-injection triggers")
+		persistDir    = flag.String("persist-dir", "", "durability directory: snapshot+WAL recovery on start, fsync-before-ack while serving (empty = in-memory)")
+		persistSnap   = flag.Int("persist-snapshot-every", 0, "WAL records between snapshots (0 = default)")
 	)
 	var faultRules multiFlag
 	flag.Var(&faultRules, "fault", "fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
@@ -94,6 +103,8 @@ func main() {
 	cfg.RetryAfter = *retryAfter
 	cfg.FaultSeed = *faultSeed
 	cfg.FaultRules = faultRules
+	cfg.Service.PersistDir = *persistDir
+	cfg.Service.PersistSnapshotEvery = *persistSnap
 	if len(faultRules) > 0 {
 		log.Printf("fault injection armed: %d rule(s), seed %d", len(faultRules), *faultSeed)
 	}
@@ -102,6 +113,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *persistDir != "" {
+		// Kill-mode fault rules terminate the process abruptly — the
+		// crash-recovery harness's stand-in for kill -9 at an exact
+		// pipeline point. Exit code 137 mirrors SIGKILL.
+		g.Faults().SetKill(func() {
+			log.Printf("fault injection: kill point reached, exiting")
+			os.Exit(137)
+		})
+		log.Printf("persistence enabled: %s", *persistDir)
 	}
 
 	srv := &http.Server{Addr: *listen, Handler: g.Handler()}

@@ -99,6 +99,31 @@ func Silica() Technology {
 	}
 }
 
+// HDD returns a nearline-disk cost structure for the §9 three-way
+// comparison: cheap drives to buy relative to capacity growth but
+// short-lived (5-year replacement cycles force ten migrations over a
+// 50-year horizon), always spinning (the dominant environmental cost),
+// with fast cheap I/O.
+func HDD() Technology {
+	return Technology{
+		Name:                   "hdd",
+		MediaLifetimeYears:     5,
+		MediaCostPerTB:         12,
+		MediaCarbonPerTB:       30, // platters, actuators, rare-earth magnets
+		ScrubIntervalYears:     0.5,
+		ScrubCostPerTB:         0.1, // online scrub piggybacks on idle spindles
+		EnvironmentalPerTBYear: 2.0, // powered 24/7 plus cooling
+		WriteCostPerTB:         0.2,
+		ReadCostPerTB:          0.2,
+		ProcessingPerTBRead:    0.05,
+	}
+}
+
+// Technologies returns the §9 comparison set in presentation order.
+func Technologies() []Technology {
+	return []Technology{Tape(), HDD(), Silica()}
+}
+
 // Workload is the archival scenario being priced.
 type Workload struct {
 	ArchiveTB      float64

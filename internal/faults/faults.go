@@ -44,6 +44,9 @@ const (
 	OpFlushBurn      = "flush.burn"      // start of one platter's burn
 	OpFlushVerify    = "flush.verify"    // start of one platter's verification
 	OpFlushPublish   = "flush.publish"   // start of one batch's publish phase
+	OpPublishPlatter = "publish.platter" // publish of one verified platter (kill points land mid-publish)
+	OpPersistAppend  = "persist.append"  // one WAL record append, pre-ack (bytes = the framed record)
+	OpPersistSync    = "persist.sync"    // one WAL fsync batch
 )
 
 // Failure modes.
@@ -51,6 +54,13 @@ const (
 	ModeError   = "error"   // return a typed error from the op
 	ModeLatency = "latency" // sleep before the op proceeds
 	ModePartial = "partial" // corrupt the op's in-flight bytes
+	// ModeKill invokes the injector's kill hook: silicad installs a hard
+	// os.Exit so the process dies at the op — a deterministic kill -9 —
+	// while in-process crash tests install a WAL freeze instead. If the
+	// hook returns (or none is installed), the op fails with an injected
+	// error so the caller unwinds without acknowledging, which is the
+	// closest in-process approximation of dying mid-call.
+	ModeKill = "kill"
 )
 
 // Rule is one armed fault. Zero selector fields (Platter/Track/
@@ -86,7 +96,7 @@ func (r Rule) Validate() error {
 		return fmt.Errorf("faults: rule needs an op")
 	}
 	switch r.Mode {
-	case ModeError, ModePartial:
+	case ModeError, ModePartial, ModeKill:
 	case ModeLatency:
 		if d, err := r.latencyDur(); err != nil || d <= 0 {
 			return fmt.Errorf("faults: latency rule needs a positive latency, got %q", r.Latency)
@@ -150,9 +160,33 @@ func (r Rule) String() string {
 //	op=media.read,platter=3,mode=latency,latency=5ms
 //	op=media.write,track=0,sector=1,mode=partial
 //
+// A compact kill-point form puts the mode and op first:
+//
+//	kill@flush.publish:after=3
+//	partial@persist.append:every=5
+//
+// which is shorthand for op=flush.publish,mode=kill,after=3 etc. —
+// the grammar used to arm crash points for recovery testing.
+//
 // Unset selectors default to "any" (-1).
 func ParseRule(s string) (Rule, error) {
 	r := Rule{Platter: -1, Track: -1, Sector: -1}
+	// mode@op[:k=v,...] compact form.
+	if at := strings.Index(s, "@"); at >= 0 && !strings.Contains(s[:at], "=") {
+		mode, rest := s[:at], s[at+1:]
+		op := rest
+		var opts string
+		if colon := strings.IndexAny(rest, ":,"); colon >= 0 {
+			op, opts = rest[:colon], rest[colon+1:]
+		}
+		if mode == "" || op == "" {
+			return r, fmt.Errorf("faults: bad compact rule %q (want mode@op[:k=v,...])", s)
+		}
+		s = "op=" + op + ",mode=" + mode
+		if opts != "" {
+			s += "," + opts
+		}
+	}
 	for _, field := range strings.FieldsFunc(s, func(c rune) bool { return c == ',' || c == ' ' || c == ';' }) {
 		k, v, ok := strings.Cut(field, "=")
 		if !ok {
@@ -223,6 +257,7 @@ type Injector struct {
 	seed    uint64
 	total   int64
 	classes map[string]error // error class name -> typed error
+	killFn  func()           // ModeKill hook; see SetKill
 
 	// injected is the obs counter mirror of total; per-op counters are
 	// registered lazily as ops fire.
@@ -269,6 +304,20 @@ func (i *Injector) Instrument(reg *obs.Registry) {
 	i.reg = reg
 	i.injected = reg.Counter("silica_faults_injected_total",
 		"Faults injected by internal/faults rules.", obs.L("op", "all"))
+}
+
+// SetKill installs the hook fired by kill-mode rules. silicad installs
+// a hard os.Exit (a deterministic stand-in for kill -9 at an exact
+// pipeline point); in-process crash tests install a persist-log freeze
+// so everything after the kill point is provably not durable. If the
+// hook returns, the checked op fails with an injected error.
+func (i *Injector) SetKill(fn func()) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.killFn = fn
+	i.mu.Unlock()
 }
 
 // MapError binds an error class name usable in a rule's err= field to
@@ -362,6 +411,7 @@ func (i *Injector) CheckData(op string, platter int64, track, sector int, data [
 	}
 	var sleep time.Duration
 	var injErr error
+	var kill func()
 	i.mu.Lock()
 	for _, ar := range i.rules {
 		if ar.Op != op {
@@ -390,6 +440,11 @@ func (i *Injector) CheckData(op string, platter int64, track, sector int, data [
 			if data != nil {
 				i.corrupt(data, ar)
 			}
+		case ModeKill:
+			kill = i.killFn
+			if injErr == nil {
+				injErr = fmt.Errorf("%w: killed at %s", ErrInjected, op)
+			}
 		default: // ModeError
 			if injErr == nil {
 				injErr = i.buildErr(ar, op, platter, track, sector)
@@ -397,6 +452,11 @@ func (i *Injector) CheckData(op string, platter int64, track, sector int, data [
 		}
 	}
 	i.mu.Unlock()
+	if kill != nil {
+		// Outside the injector lock: the hook may exit the process or
+		// freeze the persistence log, both of which touch other locks.
+		kill()
+	}
 	if sleep > 0 {
 		time.Sleep(sleep)
 	}
@@ -480,6 +540,7 @@ func Ops() []string {
 	ops := []string{
 		OpMediaRead, OpMediaWrite, OpStagingReserve,
 		OpFlushBatch, OpFlushBurn, OpFlushVerify, OpFlushPublish,
+		OpPublishPlatter, OpPersistAppend, OpPersistSync,
 	}
 	sort.Strings(ops)
 	return ops

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silica/internal/costmodel"
 	"silica/internal/media"
 	"silica/internal/metadata"
 	"silica/internal/obs"
@@ -436,6 +437,27 @@ func (c *Client) Repair(id media.PlatterID) error {
 	}
 	resp.Body.Close()
 	return nil
+}
+
+// Cost fetches the §9 TCO comparison priced on wl.
+func (c *Client) Cost(wl costmodel.Workload) (CostPayload, error) {
+	var out CostPayload
+	q := url.Values{}
+	q.Set("archive_tb", strconv.FormatFloat(wl.ArchiveTB, 'g', -1, 64))
+	q.Set("horizon_years", strconv.FormatFloat(wl.HorizonYears, 'g', -1, 64))
+	q.Set("read_tb_year", strconv.FormatFloat(wl.ReadTBPerYear, 'g', -1, 64))
+	q.Set("write_tb_year", strconv.FormatFloat(wl.WriteTBPerYear, 'g', -1, 64))
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/cost?"+q.Encode(), nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
 }
 
 // MetricsText fetches the daemon's raw Prometheus text exposition.

@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"silica/internal/costmodel"
+)
+
+// TestCostEndpoint exercises GET /v1/cost through the HTTP client: the
+// default workload prices all three technologies, query parameters
+// reshape the workload, and Silica must come out cheapest per TB-year
+// on any long archival horizon (the paper's headline claim).
+func TestCostEndpoint(t *testing.T) {
+	g := newTestGateway(t, testConfig())
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	p, err := c.Cost(costmodel.DefaultWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Technologies) != 3 {
+		t.Fatalf("technologies = %d, want tape/hdd/silica", len(p.Technologies))
+	}
+	per := map[string]float64{}
+	for _, e := range p.Technologies {
+		if e.Total <= 0 || e.PerTBYear <= 0 {
+			t.Fatalf("%s: non-positive cost %+v", e.Breakdown.Technology, e)
+		}
+		per[e.Breakdown.Technology] = e.PerTBYear
+	}
+	if !(per["silica"] < per["tape"] && per["tape"] < per["hdd"]) {
+		t.Fatalf("per-TB-year ordering wrong: %v", per)
+	}
+	if len(p.Table2) == 0 {
+		t.Fatal("table2 missing")
+	}
+
+	// Custom workload round-trips through the query string.
+	wl := costmodel.Workload{ArchiveTB: 500, HorizonYears: 10, ReadTBPerYear: 5, WriteTBPerYear: 50}
+	p2, err := c.Cost(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Workload != wl {
+		t.Fatalf("workload echoed %+v, want %+v", p2.Workload, wl)
+	}
+	if p2.Technologies[0].Total >= p.Technologies[0].Total {
+		t.Fatal("a 25x smaller archive should not cost more")
+	}
+
+	// Bad parameters are rejected, not silently defaulted.
+	resp, err := http.Get(srv.URL + "/v1/cost?horizon_years=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad horizon: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/cost?horizon_years=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero horizon: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHDDTechnology pins the §9 qualitative shape of the disk column:
+// HDD migrates most often, pays the most for power, and is the most
+// carbon-intensive to manufacture per stored TB over the horizon.
+func TestHDDTechnology(t *testing.T) {
+	wl := costmodel.DefaultWorkload()
+	tape := costmodel.Evaluate(costmodel.Tape(), wl)
+	hdd := costmodel.Evaluate(costmodel.HDD(), wl)
+	silica := costmodel.Evaluate(costmodel.Silica(), wl)
+	if hdd.Migrations <= tape.Migrations || silica.Migrations != 0 {
+		t.Fatalf("migrations: hdd=%d tape=%d silica=%d", hdd.Migrations, tape.Migrations, silica.Migrations)
+	}
+	if hdd.Environmental <= tape.Environmental {
+		t.Fatal("always-spinning disks should cost more environmentally than tape")
+	}
+	if hdd.CarbonKg <= silica.CarbonKg {
+		t.Fatal("hdd embodied carbon should exceed silica")
+	}
+}

@@ -603,5 +603,10 @@ func (g *Gateway) Close() error {
 	defer g.flushGate.Unlock()
 	err := g.flushLocked(context.Background())
 	g.drained = true
+	// With persistence on, a graceful shutdown ends in a clean snapshot
+	// (skipped automatically if a crash point froze the log).
+	if cerr := g.svc.ClosePersist(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"silica/internal/costmodel"
 	"silica/internal/faults"
 	"silica/internal/media"
 	"silica/internal/metadata"
@@ -31,6 +32,10 @@ import (
 //	GET    /v1/health/platters              → repair.Snapshot JSON (per-platter health
 //	                                          + transition history)
 //	POST   /v1/repair/{platter}             → {"queued": true}    (fail + rebuild platter)
+//	GET    /v1/cost                         → CostPayload JSON: §9 TCO comparison of
+//	                                          tape/HDD/Silica; workload overridable via
+//	                                          ?archive_tb=&horizon_years=&read_tb_year=
+//	                                          &write_tb_year=
 //	GET    /metrics                         → Prometheus text exposition (gateway,
 //	                                          staging, codec, repair families)
 //	GET    /v1/traces                       → TracesPayload JSON: recent sampled traces;
@@ -60,6 +65,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	mux.HandleFunc("GET /v1/health/platters", g.handleHealthPlatters)
 	mux.HandleFunc("POST /v1/repair/{platter}", g.handleRepair)
+	mux.HandleFunc("GET /v1/cost", g.handleCost)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/traces", g.handleTraces)
 	mux.HandleFunc("POST /v1/faults", g.handleFaultsArm)
@@ -265,6 +271,80 @@ func (g *Gateway) handleFaultsList(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleFaultsClear(w http.ResponseWriter, r *http.Request) {
 	g.Faults().Clear()
 	writeJSON(w, g.faultsPayload())
+}
+
+// CostEntry prices one technology on the requested workload.
+type CostEntry struct {
+	Breakdown costmodel.Breakdown `json:"breakdown"`
+	Total     float64             `json:"total"`
+	PerTBYear float64             `json:"per_tb_year"`
+}
+
+// CostTable2Row is one qualitative dimension of the paper's Table 2.
+type CostTable2Row struct {
+	Dimension string `json:"dimension"`
+	Tape      string `json:"tape"`
+	Silica    string `json:"silica"`
+}
+
+// CostPayload is the GET /v1/cost response: the §9 TCO comparison of
+// tape, nearline HDD, and Silica on an archival workload. Query
+// parameters override the default workload: archive_tb, horizon_years,
+// read_tb_year, write_tb_year.
+type CostPayload struct {
+	Workload     costmodel.Workload `json:"workload"`
+	Technologies []CostEntry        `json:"technologies"`
+	Table2       []CostTable2Row    `json:"table2"`
+}
+
+// BuildCostPayload prices wl across the comparison technologies.
+// Shared by the HTTP handler and silicactl's offline mode so both
+// render the identical comparison.
+func BuildCostPayload(wl costmodel.Workload) CostPayload {
+	p := CostPayload{Workload: wl}
+	for _, tech := range costmodel.Technologies() {
+		b := costmodel.Evaluate(tech, wl)
+		p.Technologies = append(p.Technologies, CostEntry{
+			Breakdown: b,
+			Total:     b.Total(),
+			PerTBYear: costmodel.CostPerTBYear(b, wl),
+		})
+	}
+	for _, row := range costmodel.BuildTable2().Rows {
+		p.Table2 = append(p.Table2, CostTable2Row{
+			Dimension: row.Dimension,
+			Tape:      row.Tape.String(),
+			Silica:    row.Silica.String(),
+		})
+	}
+	return p
+}
+
+func (g *Gateway) handleCost(w http.ResponseWriter, r *http.Request) {
+	wl := costmodel.DefaultWorkload()
+	q := r.URL.Query()
+	for key, dst := range map[string]*float64{
+		"archive_tb":    &wl.ArchiveTB,
+		"horizon_years": &wl.HorizonYears,
+		"read_tb_year":  &wl.ReadTBPerYear,
+		"write_tb_year": &wl.WriteTBPerYear,
+	} {
+		s := q.Get(key)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			http.Error(w, key+": need a non-negative number", http.StatusBadRequest)
+			return
+		}
+		*dst = v
+	}
+	if wl.HorizonYears <= 0 || wl.ArchiveTB+wl.WriteTBPerYear <= 0 {
+		http.Error(w, "workload needs a positive horizon and some bytes", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, BuildCostPayload(wl))
 }
 
 // StatsSnapshot is the /v1/stats payload.

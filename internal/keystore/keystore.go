@@ -130,6 +130,49 @@ func (s *Store) Shred(id string) error {
 	return nil
 }
 
+// Material returns a copy of id's key material, for the durability
+// layer: the WAL record of a Put must carry the key, or a restart would
+// leave acknowledged staged data as undecryptable ciphertext.
+func (s *Store) Material(id string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key, ok := s.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoKey, id)
+	}
+	cp := make([]byte, len(key))
+	copy(cp, key)
+	return cp, nil
+}
+
+// Export copies the live key material, keyed by id (persistence
+// snapshots).
+func (s *Store) Export() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.keys))
+	for id, key := range s.keys {
+		cp := make([]byte, len(key))
+		copy(cp, key)
+		out[id] = cp
+	}
+	return out
+}
+
+// Install registers existing key material under id, overwriting any
+// previous entry and clearing a shredded marker. Recovery-only: replay
+// re-installs the exact keys that were live before a crash, including
+// across a shred that a fuzzy snapshot captured but whose delete record
+// replays afterwards.
+func (s *Store) Install(id string, key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(key))
+	copy(cp, key)
+	s.keys[id] = cp
+	delete(s.shredded, id)
+}
+
 // LiveKeys reports the number of live keys (files not yet deleted).
 func (s *Store) LiveKeys() int {
 	s.mu.RLock()

@@ -103,6 +103,14 @@ func (g Geometry) InfoTracksPerPlatter() int {
 	full := g.TracksPerPlatter / group
 	rem := g.TracksPerPlatter % group
 	info := full * g.LargeGroupInfoTracks
+	// A partial tail group must still hold its redundancy tracks; only
+	// the tracks left past them store user data. Counting them all as
+	// info would let a full platter's tail-group redundancy land past
+	// the platter edge.
+	rem -= g.LargeGroupRedTracks
+	if rem < 0 {
+		rem = 0
+	}
 	if rem > g.LargeGroupInfoTracks {
 		rem = g.LargeGroupInfoTracks
 	}
@@ -130,9 +138,19 @@ func (g Geometry) InfoTrackPhysical(infoTrack int) int {
 }
 
 // LargeGroupRedTrack returns the physical track of redundancy track j
-// (0-based) of large group `group`.
+// (0-based) of large group `group`. In the platter's partial tail
+// group the redundancy tracks sit directly after its (shortened) info
+// tracks, so they always fit inside the platter.
 func (g Geometry) LargeGroupRedTrack(group, j int) int {
-	return group*(g.LargeGroupInfoTracks+g.LargeGroupRedTracks) + g.LargeGroupInfoTracks + j
+	start := group * (g.LargeGroupInfoTracks + g.LargeGroupRedTracks)
+	info := g.LargeGroupInfoTracks
+	if left := g.TracksPerPlatter - start; left < info+g.LargeGroupRedTracks {
+		info = left - g.LargeGroupRedTracks
+		if info < 0 {
+			info = 0
+		}
+	}
+	return start + info + j
 }
 
 // SectorID addresses one sector on a platter.

@@ -49,14 +49,24 @@ func TestInfoTracksAccounting(t *testing.T) {
 		TracksPerPlatter: 25, LargeGroupInfoTracks: 10, LargeGroupRedTracks: 2,
 		CodingExpansion: 1.2,
 	}
-	// Two full groups of 12 (20 info) plus 1 remaining track (info).
-	if got := g.InfoTracksPerPlatter(); got != 21 {
-		t.Fatalf("info tracks = %d, want 21", got)
+	// Two full groups of 12 (20 info) plus 1 remaining track. The tail
+	// group needs its 2 redundancy tracks before it can store info, so
+	// a single leftover track holds nothing.
+	if got := g.InfoTracksPerPlatter(); got != 20 {
+		t.Fatalf("info tracks = %d, want 20", got)
 	}
-	// Remainder larger than a full info allotment is clamped.
-	g.TracksPerPlatter = 35 // 2 groups (24) + 11 remainder -> 20 + 10
-	if got := g.InfoTracksPerPlatter(); got != 30 {
-		t.Fatalf("info tracks = %d, want 30", got)
+	// An 11-track tail holds 2 redundancy tracks + 9 info tracks.
+	g.TracksPerPlatter = 35 // 2 groups (24, 20 info) + 11 remainder -> 20 + 9
+	if got := g.InfoTracksPerPlatter(); got != 29 {
+		t.Fatalf("info tracks = %d, want 29", got)
+	}
+	// Tail redundancy stays inside the platter: group 2 starts at track
+	// 24, its 9 info tracks end at 32, red tracks land on 33 and 34.
+	if got := g.LargeGroupRedTrack(2, 1); got != 34 {
+		t.Fatalf("tail red track = %d, want 34", got)
+	}
+	if phys := g.InfoTrackPhysical(g.InfoTracksPerPlatter() - 1); phys >= g.LargeGroupRedTrack(2, 0) {
+		t.Fatalf("last info track %d overlaps tail redundancy %d", phys, g.LargeGroupRedTrack(2, 0))
 	}
 }
 

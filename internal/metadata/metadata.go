@@ -336,6 +336,61 @@ func RebuildFromHeaders(headers [][]HeaderEntry) *Store {
 	return s
 }
 
+// FileDump is one key's complete version chain, the unit of metadata
+// export for persistence snapshots.
+type FileDump struct {
+	Key      FileKey
+	Versions []Version
+}
+
+// Export copies the full store contents, sorted by key for determinism.
+// Extent slices are deep-copied so the dump is immune to later mutation.
+func (s *Store) Export() []FileDump {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]FileDump, 0, len(s.files))
+	for key, e := range s.files {
+		d := FileDump{Key: key, Versions: make([]Version, len(e.versions))}
+		for i, v := range e.versions {
+			cp := *v
+			cp.Extents = append([]Extent(nil), v.Extents...)
+			d.Versions[i] = cp
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// RestoreVersion places v at its exact version index in key's chain,
+// growing the chain with Deleted placeholders if needed and overwriting
+// whatever occupies the slot. Recovery replay applies records in LSN
+// order, which may differ from version order for concurrent Puts; the
+// explicit index makes the result order-independent, and overwrite
+// semantics make re-applying a record already reflected in a fuzzy
+// snapshot converge instead of conflict.
+func (s *Store) RestoreVersion(key FileKey, v Version) {
+	if v.Version < 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.files[key]
+	if e == nil {
+		e = &entry{}
+		s.files[key] = e
+	}
+	for len(e.versions) < v.Version {
+		e.versions = append(e.versions, &Version{
+			Version: len(e.versions) + 1,
+			State:   Deleted, // placeholder for gaps
+		})
+	}
+	cp := v
+	cp.Extents = append([]Extent(nil), v.Extents...)
+	e.versions[v.Version-1] = &cp
+}
+
 // Files reports the number of file keys with at least one live version.
 func (s *Store) Files() int {
 	s.mu.RLock()

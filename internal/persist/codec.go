@@ -1,0 +1,120 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// enc is a tiny append-only binary encoder: uvarint-framed integers,
+// strings, and byte slices. All persistent framing (WAL records,
+// snapshots, platter blobs) uses it instead of reflection-based
+// encoders, so the on-disk format is compact, deterministic, and
+// versioned explicitly.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u64(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i64(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) int(v int)     { e.i64(int64(v)) }
+func (e *enc) f64(v float64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+
+func (e *enc) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+func (e *enc) bytes(v []byte) {
+	e.u64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+func (e *enc) str(v string) { e.bytes([]byte(v)) }
+
+// errTruncated marks a decode that ran off the end of its buffer: a
+// torn or corrupt frame. Recovery treats it as "discard from here".
+var errTruncated = fmt.Errorf("persist: truncated or corrupt encoding")
+
+// dec is the matching decoder. Every accessor returns an error instead
+// of panicking: corrupt input must surface as a recoverable decode
+// failure, never a crash.
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) u64() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) i64() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) int() (int, error) {
+	v, err := d.i64()
+	return int(v), err
+}
+
+func (d *dec) bool() (bool, error) {
+	if d.off >= len(d.buf) {
+		return false, errTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b != 0, nil
+}
+
+func (d *dec) f64() (float64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, errTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return nil, errTruncated
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out, nil
+}
+
+func (d *dec) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+// count reads a length prefix and sanity-bounds it against the bytes
+// remaining, so a corrupt length cannot drive a giant allocation.
+func (d *dec) count() (int, error) {
+	n, err := d.i64()
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > int64(len(d.buf)-d.off) {
+		return 0, errTruncated
+	}
+	return int(n), nil
+}

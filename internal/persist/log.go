@@ -1,0 +1,522 @@
+// Package persist is the durability subsystem: an append-only,
+// CRC-framed write-ahead log plus periodic atomic snapshots covering
+// the service's four in-memory authorities (metadata store, platter
+// index, staging tier, health registry). Mutating paths append a typed
+// record and fsync *before* acknowledging; recovery replays the newest
+// valid snapshot plus the WAL tail into a bit-identical state.
+//
+// Crash-consistency argument, in brief:
+//
+//  1. Order. Every mutation happens in memory first, then its record
+//     is appended; the operation is acknowledged only after fsync. So
+//     "acknowledged" implies "record durable".
+//  2. Fuzzy snapshots. BeginSnapshot rotates the WAL at a cut LSN
+//     before the state is exported, so any record with lsn <= cut was
+//     appended — and its mutation applied — before the export began
+//     and is therefore captured by it. Records with lsn > cut survive
+//     in the new WAL file and replay over the snapshot; replay is
+//     idempotent (overwrite/converge semantics per record), so a
+//     mutation both captured and replayed converges.
+//  3. Torn tails. A frame that fails its length or CRC check ends
+//     replay at that byte offset. Everything before it was written in
+//     order and is intact; everything from it on was never
+//     acknowledged (fsync covers the log prefix) and is discarded.
+//     Open then snapshots immediately, so discarded bytes never
+//     survive on disk.
+//  4. Platter media. Bulk symbols live in per-platter sidecar blobs
+//     written and fsynced before the platter's publish record, so
+//     record-implies-blob; a blob without a record is a crash between
+//     the two steps and is garbage-collected at recovery.
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silica/internal/faults"
+	"silica/internal/media"
+	"silica/internal/obs"
+)
+
+// ErrCrashed is returned by every operation after a kill point froze
+// the log: the process is pretending to be dead, so nothing more
+// becomes durable and nothing more is acknowledged.
+var ErrCrashed = errors.New("persist: log frozen by crash point")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("persist: log closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the persistence directory (created if absent).
+	Dir string
+	// Fingerprint names the codec configuration; a directory written
+	// under a different fingerprint refuses to open.
+	Fingerprint string
+	// Faults, when non-nil, arms the persist.append / persist.sync
+	// injection points (and their kill hooks).
+	Faults *faults.Injector
+	// Metrics, when non-nil, registers the persist instrument families.
+	Metrics *obs.Registry
+}
+
+type logMetrics struct {
+	appends   *obs.Counter
+	bytes     *obs.Counter
+	syncs     *obs.Counter
+	fsync     *obs.Histogram
+	snapshots *obs.Counter
+	replayed  *obs.Counter
+	recovery  *obs.Gauge
+}
+
+func newLogMetrics(reg *obs.Registry, since func() int64) *logMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &logMetrics{
+		appends:   reg.Counter("silica_persist_wal_appends_total", "WAL records appended."),
+		bytes:     reg.Counter("silica_persist_wal_bytes_total", "WAL bytes appended (framing included)."),
+		syncs:     reg.Counter("silica_persist_wal_syncs_total", "WAL fsync batches (group commit: one batch acks many appends)."),
+		fsync:     reg.Histogram("silica_persist_fsync_seconds", "WAL fsync latency.", obs.DurationBuckets()),
+		snapshots: reg.Counter("silica_persist_snapshots_total", "Snapshots committed."),
+		replayed:  reg.Counter("silica_persist_replayed_records_total", "WAL records replayed during recovery."),
+		recovery:  reg.Gauge("silica_persist_recovery_seconds", "Duration of the last recovery (snapshot load + WAL replay)."),
+	}
+	gauge := reg.Gauge("silica_persist_appends_since_snapshot", "WAL records appended since the last snapshot.")
+	reg.OnScrape(func() { gauge.Set(float64(since())) })
+	return m
+}
+
+// Log is the write-ahead log plus snapshot manager for one persistence
+// directory. Append/Sync are safe for concurrent use; BeginSnapshot/
+// CommitSnapshot are serialized by the caller (the service's flush
+// loop).
+type Log struct {
+	dir         string
+	fingerprint string
+	faults      *faults.Injector
+	m           *logMetrics
+
+	// frozen is the in-process kill switch: once set, no buffered byte
+	// reaches the file and every operation fails, exactly as if the
+	// process had died at the kill point. Atomic so the faults kill
+	// hook can set it while an Append holds mu.
+	frozen    atomic.Bool
+	synced    atomic.Uint64 // highest LSN known durable
+	sinceSnap atomic.Int64
+
+	mu      sync.Mutex // guards file, writer, nextLSN
+	f       *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+	closed  bool
+
+	// syncMu serializes fsync batches (group commit) and WAL rotation.
+	// Lock order: syncMu before mu.
+	syncMu sync.Mutex
+}
+
+func walName(startLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.wal", startLSN)
+}
+
+// createWAL starts a new log file whose first record will carry
+// startLSN, durably (file and directory fsynced).
+func createWAL(dir string, startLSN uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walName(startLSN)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeWALHeader(f, startLSN); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	syncDir(dir)
+	return f, nil
+}
+
+// dirListing is what Open finds on disk.
+type dirListing struct {
+	snaps []uint64 // snapshot cut LSNs, ascending
+	wals  []uint64 // WAL start LSNs, ascending
+	blobs []media.PlatterID
+}
+
+func listDir(dir string) (dirListing, error) {
+	var l dirListing
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return l, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			// Leftover from an interrupted atomic write; never renamed,
+			// so never observable state.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".db"):
+			if v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".db"), 16, 64); err == nil {
+				l.snaps = append(l.snaps, v)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".wal"):
+			if v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".wal"), 16, 64); err == nil {
+				l.wals = append(l.wals, v)
+			}
+		case strings.HasPrefix(name, "platter-") && strings.HasSuffix(name, ".plt"):
+			if v, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "platter-"), ".plt"), 10, 64); err == nil {
+				l.blobs = append(l.blobs, media.PlatterID(v))
+			}
+		}
+	}
+	sort.Slice(l.snaps, func(i, j int) bool { return l.snaps[i] < l.snaps[j] })
+	sort.Slice(l.wals, func(i, j int) bool { return l.wals[i] < l.wals[j] })
+	return l, nil
+}
+
+// Open recovers the directory's state and returns a ready Log. The
+// sequence: load the newest valid snapshot (corrupt snapshots fall
+// back to older ones), replay every WAL record past its cut in LSN
+// order stopping at the first torn or corrupt frame, normalize,
+// load platter blobs, then immediately write a fresh snapshot and
+// garbage-collect everything it supersedes — stale snapshots, replayed
+// WAL files, orphan blobs, torn bytes.
+func Open(opts Options) (*Log, *State, error) {
+	t0 := time.Now()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("persist: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	listing, err := listDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Newest snapshot that decodes; older ones are fallbacks against a
+	// snapshot torn by disk damage (atomic writes rule out torn renames,
+	// not bit rot).
+	var snap *SnapshotData
+	var snapCut uint64
+	for i := len(listing.snaps) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(filepath.Join(opts.Dir, snapName(listing.snaps[i])))
+		if rerr != nil {
+			continue
+		}
+		cut, s, derr := decodeSnapshot(data)
+		if derr != nil {
+			continue
+		}
+		if s.Fingerprint != opts.Fingerprint {
+			return nil, nil, fmt.Errorf("persist: %s holds state for codec config %q, this daemon runs %q",
+				opts.Dir, s.Fingerprint, opts.Fingerprint)
+		}
+		snap, snapCut = s, cut
+		break
+	}
+
+	// Replay. WAL files are scanned in startLSN order; a file entirely
+	// superseded by the snapshot (its successor starts at or below
+	// cut+1) is skipped outright, so stale bit rot in it cannot block
+	// replay of live records.
+	b := newBuilder(snap)
+	maxLSN := snapCut
+	truncated := false
+	for i, start := range listing.wals {
+		if i+1 < len(listing.wals) && listing.wals[i+1] <= snapCut+1 {
+			continue
+		}
+		frames, _, tornAt, serr := scanWAL(filepath.Join(opts.Dir, walName(start)))
+		if serr != nil {
+			// Not a WAL at all — treat like a torn tail: stop replay
+			// here rather than silently skip acknowledged history.
+			truncated = true
+			break
+		}
+		for _, fr := range frames {
+			if fr.lsn <= snapCut {
+				continue
+			}
+			b.apply(fr.rec)
+			if fr.lsn > maxLSN {
+				maxLSN = fr.lsn
+			}
+		}
+		if tornAt >= 0 {
+			truncated = true
+			break
+		}
+	}
+	st := b.finish()
+	st.Truncated = truncated
+	if err := st.loadBlobs(opts.Dir); err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{
+		dir:         opts.Dir,
+		fingerprint: opts.Fingerprint,
+		faults:      opts.Faults,
+		nextLSN:     maxLSN + 1,
+	}
+	l.m = newLogMetrics(opts.Metrics, l.AppendsSinceSnapshot)
+	l.synced.Store(maxLSN)
+	f, err := createWAL(opts.Dir, l.nextLSN)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+
+	// Post-recovery snapshot: collapses the replayed history so the
+	// next crash recovers from here, and licenses the GC below.
+	if err := l.CommitSnapshot(maxLSN, st.snapData(opts.Fingerprint)); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	// Orphan blobs — platters with no publish record — are crashes
+	// between blob write and record append; the platter was never
+	// acknowledged anywhere, so the bytes are garbage. Only safe here:
+	// at runtime a fresh blob may precede its (imminent) record.
+	live := make(map[media.PlatterID]bool, len(st.Platters))
+	for _, p := range st.Platters {
+		live[p.ID] = true
+	}
+	for _, id := range listing.blobs {
+		if !live[id] {
+			_ = os.Remove(filepath.Join(opts.Dir, blobName(id)))
+		}
+	}
+
+	if l.m != nil {
+		l.m.replayed.Add(int64(st.Records))
+		l.m.recovery.Set(time.Since(t0).Seconds())
+	}
+	return l, st, nil
+}
+
+// Append buffers one record and returns its LSN. The record is not
+// durable until Sync returns; callers must not acknowledge before
+// then. The armed persist.append fault point sees the framed bytes
+// (partial mode corrupts them in flight — silent media damage — and
+// kill mode freezes the log before the frame is buffered).
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen.Load() {
+		return 0, ErrCrashed
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	frame := encodeFrame(nil, lsn, rec)
+	if err := l.faults.CheckData(faults.OpPersistAppend, -1, -1, -1, frame); err != nil {
+		return 0, err
+	}
+	if l.frozen.Load() { // kill hook may have fired without erroring
+		return 0, ErrCrashed
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	l.sinceSnap.Add(1)
+	if l.m != nil {
+		l.m.appends.Inc()
+		l.m.bytes.Add(int64(len(frame)))
+	}
+	return lsn, nil
+}
+
+// Sync makes every record appended so far durable. Concurrent callers
+// group-commit: whichever enters first flushes and fsyncs for all of
+// them, the rest observe the advanced watermark and return without
+// touching the disk.
+func (l *Log) Sync() error {
+	if l.frozen.Load() {
+		return ErrCrashed
+	}
+	if err := l.faults.Check(faults.OpPersistSync, -1, -1, -1); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.mu.Lock()
+	if l.frozen.Load() {
+		l.mu.Unlock()
+		return ErrCrashed
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	err := l.w.Flush()
+	covered := l.nextLSN - 1
+	f := l.f
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if l.m != nil {
+		l.m.syncs.Inc()
+		l.m.fsync.Observe(time.Since(t0).Seconds())
+	}
+	l.synced.Store(covered)
+	return nil
+}
+
+// BeginSnapshot opens the rotate-first snapshot protocol: it makes the
+// current WAL durable, rotates to a fresh file, and returns the cut
+// LSN. The caller then exports the live state — traffic may continue —
+// and hands it to CommitSnapshot. Any record with lsn <= cut was
+// appended (and its mutation applied) before this call returned, so
+// the export is guaranteed to reflect it; records racing the export
+// land past the cut and will replay.
+func (l *Log) BeginSnapshot() (uint64, error) {
+	if l.frozen.Load() {
+		return 0, ErrCrashed
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	cut := l.nextLSN - 1
+	nf, err := createWAL(l.dir, l.nextLSN)
+	if err != nil {
+		return 0, err
+	}
+	_ = l.f.Close()
+	l.f = nf
+	l.w = bufio.NewWriterSize(nf, 1<<16)
+	l.synced.Store(cut)
+	return cut, nil
+}
+
+// CommitSnapshot atomically writes the exported state as the snapshot
+// for cut, then garbage-collects everything it supersedes: older
+// snapshots and every WAL file whose records are all covered (startLSN
+// <= cut; the active file starts at cut+1 and survives). Platter blobs
+// are not collected here — see Open.
+func (l *Log) CommitSnapshot(cut uint64, data *SnapshotData) error {
+	if l.frozen.Load() {
+		return ErrCrashed
+	}
+	data.Fingerprint = l.fingerprint
+	buf := encodeSnapshot(cut, data)
+	err := atomicWriteFile(filepath.Join(l.dir, snapName(cut)), func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	listing, err := listDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, c := range listing.snaps {
+		if c < cut {
+			_ = os.Remove(filepath.Join(l.dir, snapName(c)))
+		}
+	}
+	for _, start := range listing.wals {
+		if start <= cut {
+			_ = os.Remove(filepath.Join(l.dir, walName(start)))
+		}
+	}
+	l.sinceSnap.Store(0)
+	if l.m != nil {
+		l.m.snapshots.Inc()
+	}
+	return nil
+}
+
+// WritePlatterBlob durably stores one platter's media sidecar. Must
+// complete before the platter's RecPublish is appended (the record-
+// implies-blob recovery invariant).
+func (l *Log) WritePlatterBlob(id media.PlatterID, sectors map[media.SectorID][]uint8, payloads [][]byte) error {
+	if l.frozen.Load() {
+		return ErrCrashed
+	}
+	return writeBlobFile(l.dir, id, sectors, payloads)
+}
+
+// AppendsSinceSnapshot reports WAL records appended since the last
+// committed snapshot — the service's snapshot-threshold input.
+func (l *Log) AppendsSinceSnapshot() int64 { return l.sinceSnap.Load() }
+
+// Crash freezes the log in place, emulating kill -9 at this exact
+// instant: records buffered but not yet fsynced never reach the disk
+// (their writes were never acknowledged), and every subsequent
+// operation fails with ErrCrashed so nothing else is acknowledged
+// either. Safe to call from a faults kill hook while an Append is in
+// flight. Tests reopen the directory afterwards to exercise recovery
+// in-process.
+func (l *Log) Crash() { l.frozen.Store(true) }
+
+// Crashed reports whether a kill point froze the log.
+func (l *Log) Crashed() bool { return l.frozen.Load() }
+
+// Close flushes and fsyncs the log (unless frozen by Crash, in which
+// case buffered bytes are deliberately dropped) and releases the file.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.frozen.Load() {
+		return l.f.Close()
+	}
+	if err := l.w.Flush(); err != nil {
+		_ = l.f.Close()
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

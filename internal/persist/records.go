@@ -1,0 +1,406 @@
+package persist
+
+import (
+	"fmt"
+	"time"
+
+	"silica/internal/media"
+	"silica/internal/metadata"
+)
+
+// Record is one typed WAL entry. Every mutating path of the service
+// appends its record *before* acknowledging the operation; replaying
+// records in LSN order over the latest snapshot reconstructs the exact
+// pre-crash state. Record application is idempotent (overwrite/
+// converge semantics), which is what lets snapshots be taken fuzzily
+// while traffic continues: a mutation captured by the snapshot whose
+// record lands after the snapshot's cut replays as a no-op.
+type Record interface {
+	recType() byte
+	encode(*enc)
+	decode(*dec) error
+}
+
+// Record type tags. Never renumber: they are the on-disk format.
+const (
+	tagPut         byte = 1
+	tagDelete      byte = 2
+	tagPublish     byte = 3
+	tagSetComplete byte = 4
+	tagDurable     byte = 5
+	tagRelease     byte = 6
+	tagRemap       byte = 7
+	tagHealth      byte = 8
+)
+
+// RecPut is an acknowledged write: metadata version, staged ciphertext,
+// and the encryption key material. The key must travel with the record
+// — after a restart the in-memory keystore is gone, and ciphertext
+// without its key is a completed delete, not a recovered write.
+type RecPut struct {
+	Account, Name string
+	Version       int
+	Size          int64 // plaintext size (metadata)
+	KeyID         string
+	Key           []byte
+	Arrival       float64
+	Ciphertext    []byte
+	OpSeq         uint64 // key-id sequence value used; restored as a floor
+}
+
+func (*RecPut) recType() byte { return tagPut }
+
+func (r *RecPut) encode(e *enc) {
+	e.str(r.Account)
+	e.str(r.Name)
+	e.int(r.Version)
+	e.i64(r.Size)
+	e.str(r.KeyID)
+	e.bytes(r.Key)
+	e.f64(r.Arrival)
+	e.bytes(r.Ciphertext)
+	e.u64(r.OpSeq)
+}
+
+func (r *RecPut) decode(d *dec) (err error) {
+	if r.Account, err = d.str(); err != nil {
+		return err
+	}
+	if r.Name, err = d.str(); err != nil {
+		return err
+	}
+	if r.Version, err = d.int(); err != nil {
+		return err
+	}
+	if r.Size, err = d.i64(); err != nil {
+		return err
+	}
+	if r.KeyID, err = d.str(); err != nil {
+		return err
+	}
+	if r.Key, err = d.bytes(); err != nil {
+		return err
+	}
+	if r.Arrival, err = d.f64(); err != nil {
+		return err
+	}
+	if r.Ciphertext, err = d.bytes(); err != nil {
+		return err
+	}
+	r.OpSeq, err = d.u64()
+	return err
+}
+
+// RecDelete is an acknowledged delete: pointer removal plus the key ids
+// shredded. Replay removes exactly those keys, so a delete captured
+// half-way by a fuzzy snapshot converges.
+type RecDelete struct {
+	Account, Name string
+	KeyIDs        []string
+}
+
+func (*RecDelete) recType() byte { return tagDelete }
+
+func (r *RecDelete) encode(e *enc) {
+	e.str(r.Account)
+	e.str(r.Name)
+	e.int(len(r.KeyIDs))
+	for _, k := range r.KeyIDs {
+		e.str(k)
+	}
+}
+
+func (r *RecDelete) decode(d *dec) (err error) {
+	if r.Account, err = d.str(); err != nil {
+		return err
+	}
+	if r.Name, err = d.str(); err != nil {
+		return err
+	}
+	n, err := d.count()
+	if err != nil {
+		return err
+	}
+	r.KeyIDs = make([]string, n)
+	for i := range r.KeyIDs {
+		if r.KeyIDs[i], err = d.str(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecPublish registers one verified platter in the index. The media
+// symbols live in the platter's sidecar blob (written and fsynced
+// before this record is appended — record-implies-blob is a recovery
+// invariant); the record carries the index metadata.
+type RecPublish struct {
+	Platter    media.PlatterID
+	Set        int // pending-set index assigned at publish
+	SetPos     int
+	Redundancy bool
+	Used       int // used info sectors
+	Reason     string
+	AtUnixNano int64
+}
+
+func (*RecPublish) recType() byte { return tagPublish }
+
+func (r *RecPublish) encode(e *enc) {
+	e.i64(int64(r.Platter))
+	e.int(r.Set)
+	e.int(r.SetPos)
+	e.bool(r.Redundancy)
+	e.int(r.Used)
+	e.str(r.Reason)
+	e.i64(r.AtUnixNano)
+}
+
+func (r *RecPublish) decode(d *dec) (err error) {
+	var id int64
+	if id, err = d.i64(); err != nil {
+		return err
+	}
+	r.Platter = media.PlatterID(id)
+	if r.Set, err = d.int(); err != nil {
+		return err
+	}
+	if r.SetPos, err = d.int(); err != nil {
+		return err
+	}
+	if r.Redundancy, err = d.bool(); err != nil {
+		return err
+	}
+	if r.Used, err = d.int(); err != nil {
+		return err
+	}
+	if r.Reason, err = d.str(); err != nil {
+		return err
+	}
+	r.AtUnixNano, err = d.i64()
+	return err
+}
+
+// RecSetComplete closes one platter-set: its full membership (info
+// members then redundancy members) becomes a durable recovery group.
+type RecSetComplete struct {
+	Set     int
+	Members []media.PlatterID
+}
+
+func (*RecSetComplete) recType() byte { return tagSetComplete }
+
+func (r *RecSetComplete) encode(e *enc) {
+	e.int(r.Set)
+	e.int(len(r.Members))
+	for _, m := range r.Members {
+		e.i64(int64(m))
+	}
+}
+
+func (r *RecSetComplete) decode(d *dec) (err error) {
+	if r.Set, err = d.int(); err != nil {
+		return err
+	}
+	n, err := d.count()
+	if err != nil {
+		return err
+	}
+	r.Members = make([]media.PlatterID, n)
+	for i := range r.Members {
+		v, err := d.i64()
+		if err != nil {
+			return err
+		}
+		r.Members[i] = media.PlatterID(v)
+	}
+	return nil
+}
+
+// RecDurable marks one file version durable: extents recorded and the
+// staged copy released, the final step of a successful flush for that
+// file.
+type RecDurable struct {
+	Account, Name string
+	Version       int
+	Extents       []metadata.Extent
+}
+
+func (*RecDurable) recType() byte { return tagDurable }
+
+func (r *RecDurable) encode(e *enc) {
+	e.str(r.Account)
+	e.str(r.Name)
+	e.int(r.Version)
+	e.int(len(r.Extents))
+	for _, x := range r.Extents {
+		e.i64(int64(x.Platter))
+		e.int(x.FirstSector)
+		e.int(x.SectorCount)
+		e.int(x.Shard)
+	}
+}
+
+func (r *RecDurable) decode(d *dec) (err error) {
+	if r.Account, err = d.str(); err != nil {
+		return err
+	}
+	if r.Name, err = d.str(); err != nil {
+		return err
+	}
+	if r.Version, err = d.int(); err != nil {
+		return err
+	}
+	n, err := d.count()
+	if err != nil {
+		return err
+	}
+	r.Extents = make([]metadata.Extent, n)
+	for i := range r.Extents {
+		x := &r.Extents[i]
+		var p int64
+		if p, err = d.i64(); err != nil {
+			return err
+		}
+		x.Platter = media.PlatterID(p)
+		if x.FirstSector, err = d.int(); err != nil {
+			return err
+		}
+		if x.SectorCount, err = d.int(); err != nil {
+			return err
+		}
+		if x.Shard, err = d.int(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecRelease frees a staged copy without marking it durable: the
+// deleted-mid-write path, where the platter bytes are shredded
+// ciphertext and only the staging space comes back.
+type RecRelease struct {
+	Account, Name string
+	Version       int
+}
+
+func (*RecRelease) recType() byte { return tagRelease }
+
+func (r *RecRelease) encode(e *enc) {
+	e.str(r.Account)
+	e.str(r.Name)
+	e.int(r.Version)
+}
+
+func (r *RecRelease) decode(d *dec) (err error) {
+	if r.Account, err = d.str(); err != nil {
+		return err
+	}
+	if r.Name, err = d.str(); err != nil {
+		return err
+	}
+	r.Version, err = d.int()
+	return err
+}
+
+// RecRemap swaps a rebuilt platter into its predecessor's place:
+// extents are rewritten and the set membership slot is replaced.
+type RecRemap struct {
+	Old, New    media.PlatterID
+	Set, SetPos int
+}
+
+func (*RecRemap) recType() byte { return tagRemap }
+
+func (r *RecRemap) encode(e *enc) {
+	e.i64(int64(r.Old))
+	e.i64(int64(r.New))
+	e.int(r.Set)
+	e.int(r.SetPos)
+}
+
+func (r *RecRemap) decode(d *dec) (err error) {
+	var v int64
+	if v, err = d.i64(); err != nil {
+		return err
+	}
+	r.Old = media.PlatterID(v)
+	if v, err = d.i64(); err != nil {
+		return err
+	}
+	r.New = media.PlatterID(v)
+	if r.Set, err = d.int(); err != nil {
+		return err
+	}
+	r.SetPos, err = d.int()
+	return err
+}
+
+// RecHealth is one platter health transition, mirrored from the repair
+// registry so suspect/failed/retired survive a restart — scrub
+// prioritization and rebuild queues are meaningless if a crash heals
+// every platter.
+type RecHealth struct {
+	Platter    media.PlatterID
+	From, To   int32 // repair.Health values
+	Reason     string
+	AtUnixNano int64
+}
+
+func (*RecHealth) recType() byte { return tagHealth }
+
+func (r *RecHealth) encode(e *enc) {
+	e.i64(int64(r.Platter))
+	e.i64(int64(r.From))
+	e.i64(int64(r.To))
+	e.str(r.Reason)
+	e.i64(r.AtUnixNano)
+}
+
+func (r *RecHealth) decode(d *dec) (err error) {
+	var v int64
+	if v, err = d.i64(); err != nil {
+		return err
+	}
+	r.Platter = media.PlatterID(v)
+	if v, err = d.i64(); err != nil {
+		return err
+	}
+	r.From = int32(v)
+	if v, err = d.i64(); err != nil {
+		return err
+	}
+	r.To = int32(v)
+	if r.Reason, err = d.str(); err != nil {
+		return err
+	}
+	r.AtUnixNano, err = d.i64()
+	return err
+}
+
+// At reports the transition time carried by the record.
+func (r *RecHealth) At() time.Time { return time.Unix(0, r.AtUnixNano) }
+
+// newRecord maps a type tag back to an empty record for decoding.
+func newRecord(tag byte) (Record, error) {
+	switch tag {
+	case tagPut:
+		return &RecPut{}, nil
+	case tagDelete:
+		return &RecDelete{}, nil
+	case tagPublish:
+		return &RecPublish{}, nil
+	case tagSetComplete:
+		return &RecSetComplete{}, nil
+	case tagDurable:
+		return &RecDurable{}, nil
+	case tagRelease:
+		return &RecRelease{}, nil
+	case tagRemap:
+		return &RecRemap{}, nil
+	case tagHealth:
+		return &RecHealth{}, nil
+	default:
+		return nil, fmt.Errorf("persist: unknown record tag %d", tag)
+	}
+}

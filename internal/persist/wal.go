@@ -1,0 +1,150 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WAL on-disk format. A log file is a fixed header followed by frames:
+//
+//	header: magic "SILWAL01" | startLSN (8B LE)
+//	frame:  length (4B LE) | crc32 (4B LE) | payload
+//	payload: lsn (8B LE) | record tag (1B) | record encoding
+//
+// length covers the payload; crc32 (IEEE) covers the payload. A torn
+// tail — short header, short payload, or CRC mismatch — ends replay at
+// that frame: everything before it is intact (frames are applied in
+// order and appends are acknowledged only after fsync), everything
+// from it on was never acknowledged and is discarded. Recovery then
+// snapshots immediately, so discarded bytes never linger on disk.
+const (
+	walMagic     = "SILWAL01"
+	walHeaderLen = len(walMagic) + 8
+	frameHdrLen  = 8 // length + crc
+	// maxFrameLen bounds a frame so a corrupt length field cannot drive
+	// a giant allocation. Platter media lives in sidecar blobs, so WAL
+	// records are small — the largest is a RecPut carrying one file's
+	// ciphertext.
+	maxFrameLen = 1 << 30
+)
+
+// walFrame is one decoded WAL entry.
+type walFrame struct {
+	lsn uint64
+	rec Record
+}
+
+// encodeFrame appends the framed record (with lsn) to dst.
+func encodeFrame(dst []byte, lsn uint64, rec Record) []byte {
+	var body enc
+	body.buf = make([]byte, 0, 64)
+	body.buf = binary.LittleEndian.AppendUint64(body.buf, lsn)
+	body.buf = append(body.buf, rec.recType())
+	rec.encode(&body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body.buf)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body.buf))
+	return append(dst, body.buf...)
+}
+
+// writeWALHeader starts a fresh log file.
+func writeWALHeader(f *os.File, startLSN uint64) error {
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, walMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, startLSN)
+	_, err := f.Write(hdr)
+	return err
+}
+
+// scanWAL reads every intact frame of one log file. It returns the
+// frames up to the first torn or corrupt one; tornAt reports the byte
+// offset of the damage (-1 when the file ends cleanly). Damage is
+// never an error — it is the expected shape of a crash mid-append —
+// but a bad header is: that file was never a log.
+func scanWAL(path string) (frames []walFrame, startLSN uint64, tornAt int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, -1, err
+	}
+	if len(data) < walHeaderLen || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, -1, fmt.Errorf("persist: %s: not a WAL file", path)
+	}
+	startLSN = binary.LittleEndian.Uint64(data[len(walMagic):walHeaderLen])
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return frames, startLSN, -1, nil // clean end
+		}
+		if len(rest) < frameHdrLen {
+			return frames, startLSN, off, nil // torn frame header
+		}
+		length := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if length < 9 || length > maxFrameLen || int(length) > len(rest)-frameHdrLen {
+			return frames, startLSN, off, nil // torn or corrupt length
+		}
+		payload := rest[frameHdrLen : frameHdrLen+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return frames, startLSN, off, nil // corrupt frame
+		}
+		lsn := binary.LittleEndian.Uint64(payload)
+		rec, rerr := newRecord(payload[8])
+		if rerr != nil {
+			return frames, startLSN, off, nil // unknown tag: treat as corrupt
+		}
+		d := &dec{buf: payload[9:]}
+		if rerr := rec.decode(d); rerr != nil {
+			return frames, startLSN, off, nil // record body corrupt
+		}
+		frames = append(frames, walFrame{lsn: lsn, rec: rec})
+		off += int64(frameHdrLen) + int64(length)
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort on platforms where directories cannot be
+// fsynced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// atomicWriteFile writes data to path via a temp file in the same
+// directory: write, fsync, rename, fsync dir. Readers observe either
+// the old file or the complete new one, never a prefix.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}

@@ -76,6 +76,11 @@ type Registry struct {
 	transitions map[string]int64
 	total       int64
 	now         func() time.Time
+	// onTransition, when set, is invoked after every recorded edge,
+	// outside the registry mutex — the durability layer appends a WAL
+	// record there, and an append must never run under g.mu (a snapshot
+	// exporting the registry while holding the log would deadlock).
+	onTransition func(id media.PlatterID, tr Transition)
 }
 
 // NewRegistry returns an empty registry.
@@ -120,38 +125,70 @@ func (g *Registry) SetPlacement(id media.PlatterID, set, setPos int, redundancy 
 	}
 }
 
+// OnTransition registers a callback fired after every recorded health
+// edge, outside the registry mutex (it may do I/O, e.g. append a WAL
+// record). Install before concurrent use; one callback is supported.
+func (g *Registry) OnTransition(fn func(id media.PlatterID, tr Transition)) {
+	g.mu.Lock()
+	g.onTransition = fn
+	g.mu.Unlock()
+}
+
 // Transition moves a platter to health `to`, recording the edge.
 // Transitioning to the current state is a no-op. Illegal transitions
 // (e.g. reviving a Retired platter) return an error and change
 // nothing.
 func (g *Registry) Transition(id media.PlatterID, to Health, reason string) error {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	r, ok := g.platters[id]
 	if !ok {
+		g.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownPlatter, id)
 	}
 	from := Health(r.health.Load())
 	if from == to {
+		g.mu.Unlock()
 		return nil
 	}
-	legal := false
-	for _, n := range legalHealthTransitions[from] {
-		if n == to {
-			legal = true
-			break
-		}
-	}
-	if !legal {
+	if !LegalTransition(from, to) {
+		g.mu.Unlock()
 		return fmt.Errorf("repair: platter %d: illegal transition %v -> %v", id, from, to)
 	}
+	tr := Transition{From: from.String(), To: to.String(), Reason: reason, At: g.now()}
 	r.health.Store(int32(to))
-	r.history = append(r.history, Transition{
-		From: from.String(), To: to.String(), Reason: reason, At: g.now(),
-	})
+	r.history = append(r.history, tr)
 	g.transitions[from.String()+"->"+to.String()]++
 	g.total++
+	fn := g.onTransition
+	g.mu.Unlock()
+	if fn != nil {
+		fn(id, tr)
+	}
 	return nil
+}
+
+// Restore installs a platter record with the given health, placement,
+// and history, replacing any existing record and recomputing the edge
+// counters from the restored histories. Recovery-only: the callback is
+// not fired (the state being installed came from the log).
+func (g *Registry) Restore(id media.PlatterID, h Health, set, setPos int, redundancy bool, history []Transition) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := &Record{id: id, set: set, setPos: setPos, redundancy: redundancy}
+	r.health.Store(int32(h))
+	r.history = append([]Transition(nil), history...)
+	g.platters[id] = r
+	g.transitions = make(map[string]int64)
+	g.total = 0
+	for _, rec := range g.platters {
+		for _, tr := range rec.history {
+			if tr.From == "" {
+				continue // birth entry, not an edge
+			}
+			g.transitions[tr.From+"->"+tr.To]++
+			g.total++
+		}
+	}
 }
 
 // RecordScrub attaches the latest scrub result to a platter and resets

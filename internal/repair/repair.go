@@ -78,6 +78,31 @@ var legalHealthTransitions = map[Health][]Health{
 	Retired:    {},
 }
 
+// ParseHealth maps a health name (as produced by Health.String) back
+// to its value; unknown names report ok=false.
+func ParseHealth(name string) (Health, bool) {
+	for h, n := range healthNames {
+		if n == name {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// LegalTransition reports whether from -> to is a legal health edge
+// (from == to is the registry's no-op case and reports false). The
+// persistence layer uses it to apply replayed transitions best-effort:
+// a fuzzy snapshot can capture a state ahead of the WAL tail, making a
+// replayed edge stale.
+func LegalTransition(from, to Health) bool {
+	for _, n := range legalHealthTransitions[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
 // Transition is one recorded health change.
 type Transition struct {
 	From   string    `json:"from"`

@@ -17,6 +17,20 @@ func benchWorkerCounts() []int {
 	return []int{1}
 }
 
+// reportPerCore attaches the scaling metrics that BENCH_codec.json
+// trend-tracks: the worker count as a numeric series and the
+// throughput normalized per worker, so a run at GOMAXPROCS=8 and one
+// at 4 are directly comparable.
+func reportPerCore(b *testing.B, bytesPerOp int64, workers int) {
+	elapsed := b.Elapsed().Seconds()
+	if elapsed <= 0 || b.N == 0 {
+		return
+	}
+	mbps := float64(bytesPerOp) * float64(b.N) / 1e6 / elapsed
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(mbps/float64(workers), "MB/s/core")
+}
+
 func benchService(b *testing.B, workers int) *Service {
 	b.Helper()
 	cfg := DefaultConfig()
@@ -51,6 +65,7 @@ func BenchmarkBurnPlatter(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportPerCore(b, int64(sectors)*int64(geom.SectorPayloadBytes), workers)
 		})
 	}
 }
@@ -79,6 +94,7 @@ func BenchmarkFlushParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportPerCore(b, files*fileBytes, workers)
 		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"silica/internal/media"
+	"silica/internal/persist"
 	"silica/internal/repair"
 )
 
@@ -161,6 +162,22 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 	s.mu.Unlock()
 	s.health.SetPlacement(newID, setIdx, setPos, isRed)
 	remapped := s.meta.RemapPlatter(old, newID)
+	// Durability: blob + publish record for the replacement first, then
+	// the remap that swaps it into place. A crash between the two
+	// recovers the replacement as an orphan redundancy platter (pruned)
+	// or an unreferenced info platter; the old platter stays mapped and
+	// the rebuild simply reruns.
+	if s.plog != nil {
+		if err := s.persistPublish(newID, npi, fmt.Sprintf("rebuilt (replaces platter %d)", old)); err != nil {
+			return -1, err
+		}
+		if _, err := s.plog.Append(&persist.RecRemap{Old: old, New: newID, Set: setIdx, SetPos: setPos}); err != nil {
+			return -1, err
+		}
+		if err := s.plog.Sync(); err != nil {
+			return -1, err
+		}
+	}
 	_ = s.health.Transition(old, repair.Retired,
 		fmt.Sprintf("rebuilt as platter %d (%d extents remapped)", newID, remapped))
 	s.addStats(func(st *Stats) { st.PlattersRebuilt++ })

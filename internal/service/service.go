@@ -36,6 +36,7 @@ import (
 	"silica/internal/metadata"
 	"silica/internal/nc"
 	"silica/internal/obs"
+	"silica/internal/persist"
 	"silica/internal/repair"
 	"silica/internal/sim"
 	"silica/internal/staging"
@@ -81,6 +82,15 @@ type Config struct {
 	// points (media reads/writes, staging reservations, flush phases).
 	// Nil disables fault injection at zero cost.
 	Faults *faults.Injector
+	// PersistDir, when set, makes the service durable: state recovers
+	// from snapshot+WAL at startup and every acknowledged mutation is
+	// logged (and fsynced) before the acknowledgment. Empty keeps the
+	// historical pure in-memory mode.
+	PersistDir string
+	// PersistSnapshotEvery bounds WAL growth: a new snapshot is cut
+	// once this many records accumulate past the last one (checked at
+	// flush boundaries). 0 = default (4096).
+	PersistSnapshotEvery int
 }
 
 // DefaultConfig returns an in-memory full-codec service.
@@ -189,6 +199,10 @@ type Service struct {
 
 	reg *obs.Registry
 	om  serviceMetrics
+
+	// plog is the durability subsystem (nil in in-memory mode). All
+	// appends happen on acknowledged-mutation paths; see persist.go.
+	plog *persist.Log
 }
 
 // New builds a service.
@@ -247,6 +261,11 @@ func New(cfg Config) (*Service, error) {
 	s.faults.MapError("capacity", staging.ErrCapacity)
 	s.faults.MapError("unavailable", ErrUnavailable)
 	s.faults.Instrument(s.reg)
+	if cfg.PersistDir != "" {
+		if err := s.openPersist(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -376,7 +395,8 @@ func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte)
 	// Key ids are opaque and unique per Put; the version cannot be
 	// named yet because metadata registration comes last.
 	encrypt := obs.StartSpan(ctx, "encrypt")
-	kid := fmt.Sprintf("%s#k%d", key, s.opSeq.Add(1))
+	seq := s.opSeq.Add(1)
+	kid := fmt.Sprintf("%s#k%d", key, seq)
 	if err := s.keys.CreateKey(kid); err != nil {
 		encrypt.End()
 		s.tier.CancelReservation(ctSize)
@@ -397,10 +417,34 @@ func (s *Service) PutCtx(ctx context.Context, account, name string, data []byte)
 	stage := obs.StartSpan(ctx, "stage")
 	arrival := s.arrival()
 	v := s.meta.Put(key, int64(len(data)), kid, arrival)
+	if s.plog != nil {
+		// The record must carry the key material: ciphertext without its
+		// key is a completed delete, not a recovered write.
+		material, err := s.keys.Material(kid)
+		if err == nil {
+			_, err = s.plog.Append(&persist.RecPut{
+				Account: account, Name: name, Version: v.Version,
+				Size: int64(len(data)), KeyID: kid, Key: material,
+				Arrival: arrival, Ciphertext: ct, OpSeq: seq,
+			})
+		}
+		if err != nil {
+			stage.End()
+			s.tier.CancelReservation(ctSize)
+			return 0, fmt.Errorf("service: put not durable: %w", err)
+		}
+	}
 	s.tier.AdmitReserved(&staging.File{
 		Key: key, Version: v.Version, Size: int64(len(ct)), Data: ct, Arrival: arrival,
 	})
 	stage.End()
+	// Group-commit fsync before the acknowledgment: an acked put is on
+	// disk, an un-acked one may or may not be — both are recoverable.
+	if s.plog != nil {
+		if err := s.plog.Sync(); err != nil {
+			return 0, fmt.Errorf("service: put not durable: %w", err)
+		}
+	}
 	return v.Version, nil
 }
 
@@ -428,6 +472,16 @@ func (s *Service) DeleteCtx(ctx context.Context, account, name string) error {
 		}
 		if err := s.keys.Shred(kid); err != nil && !errors.Is(err, keystore.ErrNoKey) {
 			return err
+		}
+	}
+	if s.plog != nil {
+		if _, err := s.plog.Append(&persist.RecDelete{
+			Account: account, Name: name, KeyIDs: kids,
+		}); err != nil {
+			return fmt.Errorf("service: delete not durable: %w", err)
+		}
+		if err := s.plog.Sync(); err != nil {
+			return fmt.Errorf("service: delete not durable: %w", err)
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"silica/internal/media"
 	"silica/internal/metadata"
 	"silica/internal/obs"
+	"silica/internal/persist"
 	"silica/internal/sim"
 	"silica/internal/staging"
 )
@@ -134,6 +135,11 @@ func (s *Service) FlushCtx(ctx context.Context) error {
 				st.PlattersWritten++
 				st.BytesStored += int64(pd.plan.SectorsUsed) * int64(s.cfg.Geom.SectorPayloadBytes)
 			})
+			// Per-platter publish injection point: kill rules here model a
+			// crash between individual platter publications mid-flush.
+			if err := s.faults.Check(faults.OpPublishPlatter, int64(pd.id), -1, -1); err != nil {
+				return err
+			}
 			s.publishPlatter(pd.id, pd.pi, "published")
 			if err := s.addToSet(pd.id, pd.pi); err != nil {
 				return err
@@ -159,14 +165,37 @@ func (s *Service) FlushCtx(ctx context.Context) error {
 					// Deleted mid-write: the platter copy is shredded
 					// ciphertext; just free the staged bytes.
 					release = append(release, f)
+					if s.plog != nil {
+						if _, err := s.plog.Append(&persist.RecRelease{
+							Account: f.Key.Account, Name: f.Key.Name, Version: f.Version,
+						}); err != nil {
+							return err
+						}
+					}
 					continue
 				}
 				return err
+			}
+			if s.plog != nil {
+				if _, err := s.plog.Append(&persist.RecDurable{
+					Account: f.Key.Account, Name: f.Key.Name,
+					Version: f.Version, Extents: extents[fid],
+				}); err != nil {
+					return err
+				}
 			}
 			release = append(release, f)
 		}
 		if err := s.tier.Release(release); err != nil {
 			return err
+		}
+		if s.plog != nil {
+			if err := s.plog.Sync(); err != nil {
+				return err
+			}
+			if err := s.maybePersistSnapshot(); err != nil {
+				return err
+			}
 		}
 		publish.End()
 		publishDone()
@@ -577,22 +606,44 @@ func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) b
 // platters are written and the set closes (§6). The redundancy encode
 // and write — the heavy part — runs outside the index lock; the set
 // only becomes visible to recovery reads once fully protected.
+//
+// Durability ordering: the platter's publish record is appended after
+// its set position is assigned (the record carries it) and before the
+// set-close work, so a crash anywhere in between recovers the platter
+// into the pending set and re-closes it with fresh redundancy.
 func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) error {
 	s.mu.Lock()
 	pi.set = len(s.sets)
 	pi.setPos = len(s.pendingSet)
 	s.pendingSet = append(s.pendingSet, id)
-	if len(s.pendingSet) < s.cfg.SetInfo {
-		s.mu.Unlock()
+	closing := len(s.pendingSet) >= s.cfg.SetInfo
+	var members []media.PlatterID
+	if closing {
+		members = s.pendingSet
+		s.pendingSet = nil
+	}
+	s.mu.Unlock()
+	if err := s.persistPublish(id, pi, "published"); err != nil {
+		return err
+	}
+	if !closing {
 		return nil
 	}
-	members := append([]media.PlatterID(nil), s.pendingSet...)
-	s.pendingSet = nil
+	return s.closeSet(members)
+}
+
+// closeSet writes the SetRed redundancy platters over the pending
+// members and registers the completed set. Also invoked by crash
+// recovery when the WAL replays a full pending set whose set-complete
+// record never landed (its original redundancy platters were pruned as
+// orphans).
+func (s *Service) closeSet(members []media.PlatterID) error {
 	infos := make([]*platterInfo, len(members))
+	s.mu.RLock()
 	for i, m := range members {
 		infos[i] = s.platters[m]
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 
 	// Redundancy platters: sector (track t, pos p) of redundancy
 	// platter r is the NC combination of members' (t, p) payloads.
@@ -637,7 +688,13 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) error {
 		if err != nil {
 			return err
 		}
+		if err := s.faults.Check(faults.OpPublishPlatter, int64(rid), -1, -1); err != nil {
+			return err
+		}
 		s.publishPlatter(rid, rpi, "published (set redundancy)")
+		if err := s.persistPublish(rid, rpi, "published (set redundancy)"); err != nil {
+			return err
+		}
 		members = append(members, rid)
 		s.addStats(func(st *Stats) {
 			st.RedundancyPlatters++
@@ -655,6 +712,11 @@ func (s *Service) addToSet(id media.PlatterID, pi *platterInfo) error {
 	s.mu.Unlock()
 	for pos, m := range members {
 		s.health.SetPlacement(m, setIdx, pos, pos >= s.cfg.SetInfo)
+	}
+	if s.plog != nil {
+		if _, err := s.plog.Append(&persist.RecSetComplete{Set: setIdx, Members: members}); err != nil {
+			return err
+		}
 	}
 	s.addStats(func(st *Stats) { st.SetsCompleted++ })
 	return nil

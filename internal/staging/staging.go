@@ -181,6 +181,30 @@ func (t *Tier) Admit(f *File) error {
 	return nil
 }
 
+// Restore re-admits a file during crash recovery, bypassing the
+// capacity check: the bytes were admitted (and acknowledged) before the
+// restart, so rejecting them now would drop durable-promised data. Used
+// may temporarily exceed Capacity; admission control then rejects new
+// writes until a flush drains the overhang.
+func (t *Tier) Restore(f *File) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.files = append(t.files, f)
+	t.used += f.Size
+	if t.used+t.reserved > t.peakUsed {
+		t.peakUsed = t.used + t.reserved
+	}
+}
+
+// Export returns the staged files for a persistence snapshot. The
+// File pointers are shared (staged data is immutable once admitted);
+// the slice itself is the caller's.
+func (t *Tier) Export() []*File {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*File(nil), t.files...)
+}
+
 func fileID(f *File) string {
 	return fmt.Sprintf("%s#%d", f.Key, f.Version)
 }

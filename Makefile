@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke bench clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke bench clean
 
 all: tier1
 
@@ -75,6 +75,17 @@ crash-smoke:
 	SILICA_CRASH_SMOKE=1 $(GO) test ./internal/gateway \
 		-run 'TestCrashMidFlushRecovery|TestCrashSmokeSilicad' -v -timeout 600s
 
+# Digital-twin smoke: drive Zipf-skewed load through an in-process
+# gateway whose media touches are charged by the library twin, print
+# the queue/mechanical/codec latency breakdown, and run the e2e test
+# (byte identity vs direct, nonzero mechanical histograms, runtime
+# policy switch over /v1/backend).
+twin-smoke:
+	$(GO) run ./cmd/silica-load -clients 8 -ops 24 -read-frac 0.6 \
+		-object-bytes 2048 -platter-tracks 9 -zipf 1.2 \
+		-backend twin -policy silica -twin-speedup 20000
+	$(GO) test ./internal/gateway -run 'TestTwinE2E' -v -timeout 300s
+
 # Codec benchmarks: GF(256) kernels, per-sector encode/decode, and the
 # parallel burn/flush paths at workers=1 vs workers=GOMAXPROCS. Raw
 # `go test -json` events land in BENCH_codec.json for trend tracking;
@@ -82,8 +93,8 @@ crash-smoke:
 # on different core counts compare per-core scaling directly.
 bench:
 	$(GO) test -json -run '^$$' \
-		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel' \
-		-benchmem ./internal/gf256/ ./internal/ldpc/ ./internal/service/ \
+		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel|TwinRead' \
+		-benchmem ./internal/gf256/ ./internal/ldpc/ ./internal/service/ ./internal/backend/ \
 		> BENCH_codec.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_codec.json \
 		| sed -e 's/"Output":"//' -e 's/\\n$$//' -e 's/\\t/\t/g'

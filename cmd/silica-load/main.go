@@ -57,6 +57,10 @@ func main() {
 		clientRetry   = flag.Bool("client-retry", false, "-url mode: retry 429/503 inside the HTTP client (jittered backoff, honors Retry-After)")
 		faultSeed     = flag.Uint64("fault-seed", 0, "in-process mode: seed for probabilistic fault triggers")
 		persistDir    = flag.String("persist-dir", "", "in-process mode: durability directory (snapshot+WAL; empty = in-memory)")
+		zipfSkew      = flag.Float64("zipf", 0, "read-popularity skew: 0 = uniform, larger concentrates reads on a hot set")
+		backendKind   = flag.String("backend", "direct", "in-process mode: media backend, direct or twin")
+		policy        = flag.String("policy", "silica", "twin backend scheduling policy: silica, sp, or ns")
+		twinSpeedup   = flag.Float64("twin-speedup", 0, "twin backend virtual-to-wall clock ratio (0 = default)")
 	)
 	var faultRules multiFlag
 	flag.Var(&faultRules, "fault", "in-process mode: fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
@@ -71,6 +75,7 @@ func main() {
 		Seed:           *seed,
 		MaxRetries:     *retries,
 		RetryBackoff:   *backoff,
+		ZipfSkew:       *zipfSkew,
 	}
 
 	var api gateway.API
@@ -100,6 +105,9 @@ func main() {
 		cfg.FaultSeed = *faultSeed
 		cfg.FaultRules = faultRules
 		cfg.Service.PersistDir = *persistDir
+		cfg.Backend = *backendKind
+		cfg.BackendPolicy = *policy
+		cfg.TwinSpeedup = *twinSpeedup
 		if *platterTracks > 0 {
 			cfg.Service.Geom.TracksPerPlatter = *platterTracks
 		}
@@ -123,7 +131,13 @@ func main() {
 
 	rep := gateway.RunLoad(api, lc)
 	fmt.Print(rep)
-	printServerPercentiles(api, g, rep)
+	samples, serr := scrapeMetrics(api, g)
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "metrics scrape: %v\n", serr)
+	} else {
+		printServerPercentiles(samples, rep)
+		printLatencyBreakdown(samples)
+	}
 	if g != nil && len(faultRules) > 0 {
 		fmt.Printf("faults: %d injected across %d rule(s)\n", g.Faults().Total(), len(faultRules))
 	}
@@ -138,25 +152,24 @@ func main() {
 	fmt.Println("verification: all committed objects intact")
 }
 
-// printServerPercentiles scrapes /metrics at the end of the run and
-// prints the gateway's own request p99 (derived from its histogram
-// buckets) next to the client-observed p99, so time spent inside the
-// gateway is separable from transport and retry overhead.
-func printServerPercentiles(api gateway.API, g *gateway.Gateway, rep gateway.LoadReport) {
-	var samples []obs.PromSample
-	var err error
+// scrapeMetrics fetches the gateway's /metrics samples, over HTTP in
+// -url mode or straight off the in-process registry.
+func scrapeMetrics(api gateway.API, g *gateway.Gateway) ([]obs.PromSample, error) {
 	if c, ok := api.(*gateway.Client); ok {
-		samples, err = c.Metrics()
-	} else {
-		var buf bytes.Buffer
-		if err = g.Metrics().WriteProm(&buf); err == nil {
-			samples, err = obs.ParseProm(&buf)
-		}
+		return c.Metrics()
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "metrics scrape: %v\n", err)
-		return
+	var buf bytes.Buffer
+	if err := g.Metrics().WriteProm(&buf); err != nil {
+		return nil, err
 	}
+	return obs.ParseProm(&buf)
+}
+
+// printServerPercentiles prints the gateway's own request p99 (derived
+// from its histogram buckets) next to the client-observed p99, so time
+// spent inside the gateway is separable from transport and retry
+// overhead.
+func printServerPercentiles(samples []obs.PromSample, rep gateway.LoadReport) {
 	sums := rep.Latencies.Summaries()
 	fmt.Println("latency p99, server vs client:")
 	for _, class := range []string{"put", "get", "delete"} {
@@ -170,6 +183,53 @@ func printServerPercentiles(api gateway.API, g *gateway.Gateway, rep gateway.Loa
 			server = fmt.Sprintf("%.1fms", 1000*sp)
 		}
 		fmt.Printf("  %-7s server %8s   client %7.1fms\n", class, server, 1000*cs.P99)
+	}
+}
+
+// histMean returns a histogram's mean (sum/count) from its exposition
+// samples, or false when it has no observations.
+func histMean(samples []obs.PromSample, name string, want map[string]string) (float64, bool) {
+	sum, ok1 := obs.FindSample(samples, name+"_sum", want)
+	cnt, ok2 := obs.FindSample(samples, name+"_count", want)
+	if !ok1 || !ok2 || cnt.Value == 0 {
+		return 0, false
+	}
+	return sum.Value / cnt.Value, true
+}
+
+// printLatencyBreakdown splits mean request latency into its queue,
+// mechanical, and codec/other shares using the gateway's queue-wait
+// histogram and the backend's mechanical spans. With the direct
+// backend the mechanical share is zero by construction; under
+// -backend twin it dominates, which is the whole point of the twin.
+func printLatencyBreakdown(samples []obs.PromSample) {
+	classOps := []struct{ class, op string }{{"get", "read"}, {"put", "burn"}}
+	shown := false
+	for _, co := range classOps {
+		total, ok := histMean(samples, "silica_gateway_request_seconds",
+			map[string]string{"class": co.class})
+		if !ok {
+			continue
+		}
+		queue, _ := histMean(samples, "silica_gateway_queue_wait_seconds",
+			map[string]string{"class": co.class})
+		mech, _ := histMean(samples, "silica_backend_mech_seconds",
+			map[string]string{"op": co.op})
+		codec := total - queue - mech
+		if codec < 0 {
+			// Burns are batched: one mechanical burn amortizes over many
+			// puts, so the per-op mean can exceed the per-request mean.
+			codec = 0
+		}
+		if !shown {
+			fmt.Println("latency breakdown (mean, server side):")
+			shown = true
+		}
+		fmt.Printf("  %-4s total %8.2fms = queue %8.2fms + mechanical %8.2fms + codec/other %8.2fms\n",
+			co.class, 1000*total, 1000*queue, 1000*mech, 1000*codec)
+	}
+	if v, ok := obs.FindSample(samples, "silica_backend_virtual_seconds", nil); ok && v.Value > 0 {
+		fmt.Printf("  twin: %.1f virtual seconds simulated\n", v.Value)
 	}
 }
 

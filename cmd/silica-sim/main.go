@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id: fig1a fig1b fig1c fig2 fig3 table1 durability fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c fig8 fig9, ablations, or all")
+	exp := flag.String("experiment", "all", "experiment id: fig1a fig1b fig1c fig2 fig3 table1 durability fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c fig8 fig9, ablations, policy-live, or all")
 	quick := flag.Bool("quick", false, "scaled-down traces (seconds per experiment)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	traceFile := flag.String("trace", "", "replay a silica-trace JSONL file instead of running experiments")
@@ -76,6 +76,16 @@ func main() {
 	}
 	if *exp == "tape" {
 		run("tape", func() (fmt.Stringer, error) { r, err := experiments.TapeVsSilica(sc); return r, err })
+	}
+	if *exp == "policy-live" {
+		// Runs a real gateway + HTTP server per policy with the twin
+		// backend — opt-in by name, like ablations.
+		run("policy-live", func() (fmt.Stringer, error) {
+			lcfg := experiments.DefaultPolicyLiveConfig()
+			lcfg.Seed = sc.Seed
+			r, err := experiments.PolicyComparisonLive(lcfg)
+			return r, err
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"silica/internal/backend"
 	"silica/internal/costmodel"
 	"silica/internal/gateway"
 	"silica/internal/media"
@@ -153,11 +154,15 @@ func top(args []string) {
 		}
 		samples, err := c.Metrics()
 		check(err)
-		printTop(*url, samples)
+		st, berr := c.Backend()
+		if berr != nil {
+			st = backend.Status{} // older daemons have no /v1/backend
+		}
+		printTop(*url, samples, st)
 	}
 }
 
-func printTop(url string, samples []obs.PromSample) {
+func printTop(url string, samples []obs.PromSample, bst backend.Status) {
 	val := func(name string, labels map[string]string) float64 {
 		s, _ := obs.FindSample(samples, name, labels)
 		return s.Value
@@ -205,6 +210,44 @@ func printTop(url string, samples []obs.PromSample) {
 		}
 	}
 	fmt.Println()
+	printBackend(samples, bst)
+}
+
+// printBackend renders the media backend's mechanical telemetry: the
+// twin's virtual clock, in-flight charges, per-class scheduler queues,
+// the Figure-6 drive-time breakdown, and shuttle motion totals. A
+// direct backend gets a single identifying line.
+func printBackend(samples []obs.PromSample, bst backend.Status) {
+	if bst.Backend == "" {
+		return
+	}
+	if bst.Backend != "twin" {
+		fmt.Printf("backend  %s (no mechanical latency)\n", bst.Backend)
+		return
+	}
+	val := func(name string, labels map[string]string) float64 {
+		s, _ := obs.FindSample(samples, name, labels)
+		return s.Value
+	}
+	fmt.Printf("backend  twin policy=%s speedup=%gx, virtual clock %.1fs, %.0f op(s) in flight\n",
+		bst.Policy, bst.Speedup,
+		val("silica_backend_virtual_seconds", nil),
+		val("silica_backend_inflight_ops", nil))
+	fmt.Printf("  queues ")
+	for _, class := range []string{"read", "burn", "rebuild", "scrub"} {
+		fmt.Printf(" %s=%.0f", class, val("silica_backend_queue_depth", map[string]string{"class": class}))
+	}
+	fmt.Println()
+	fmt.Printf("  drives ")
+	for _, state := range []string{"read", "verify", "mount", "switch", "idle"} {
+		fmt.Printf(" %s=%.0f%%", state, 100*val("silica_backend_drive_util", map[string]string{"state": state}))
+	}
+	fmt.Println()
+	fmt.Printf("  shuttles %.0f travels (%.1fs moving, %.1fs congested), %.0f platter ops\n",
+		val("silica_backend_shuttle_travels", nil),
+		val("silica_backend_shuttle_travel_seconds_total", nil),
+		val("silica_backend_shuttle_congestion_seconds_total", nil),
+		val("silica_backend_shuttle_platter_ops", nil))
 }
 
 func fmtSeconds(s float64) string {

@@ -18,6 +18,14 @@
 //	GET    /v1/faults                     list armed rules and fire counts
 //	DELETE /v1/faults                     disarm all fault rules
 //	GET    /v1/cost                       §9 TCO comparison (tape/HDD/Silica)
+//	GET    /v1/backend                    backend kind, policy, mechanical stats
+//	POST   /v1/backend                    switch the twin's scheduling policy at runtime
+//
+// With -backend twin every media touch (burns, reads, scrub samples,
+// rebuild member reads) is charged mechanical latency by a calibrated
+// digital twin of a Silica library — drives, shuttles, mount and seek
+// distributions — throttled to wall time by -twin-speedup. Bytes are
+// identical to -backend direct; only timing differs.
 //
 // With -persist-dir the daemon is durable: it recovers snapshot+WAL
 // state from the directory on start, fsyncs the WAL before every
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"silica/internal/backend"
 	"silica/internal/gateway"
 )
 
@@ -80,6 +89,9 @@ func main() {
 		faultSeed     = flag.Uint64("fault-seed", 0, "seed for probabilistic fault-injection triggers")
 		persistDir    = flag.String("persist-dir", "", "durability directory: snapshot+WAL recovery on start, fsync-before-ack while serving (empty = in-memory)")
 		persistSnap   = flag.Int("persist-snapshot-every", 0, "WAL records between snapshots (0 = default)")
+		backendKind   = flag.String("backend", "direct", "media backend: direct (no mechanical latency) or twin (calibrated library simulation)")
+		policy        = flag.String("policy", "silica", "twin backend scheduling policy: silica, sp, or ns")
+		twinSpeedup   = flag.Float64("twin-speedup", 0, "twin backend virtual-to-wall clock ratio (0 = default 200x)")
 	)
 	var faultRules multiFlag
 	flag.Var(&faultRules, "fault", "fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
@@ -105,8 +117,18 @@ func main() {
 	cfg.FaultRules = faultRules
 	cfg.Service.PersistDir = *persistDir
 	cfg.Service.PersistSnapshotEvery = *persistSnap
+	cfg.Backend = *backendKind
+	cfg.BackendPolicy = *policy
+	cfg.TwinSpeedup = *twinSpeedup
 	if len(faultRules) > 0 {
 		log.Printf("fault injection armed: %d rule(s), seed %d", len(faultRules), *faultSeed)
+	}
+	if *backendKind == "twin" {
+		sp := *twinSpeedup
+		if sp <= 0 {
+			sp = backend.DefaultSpeedup
+		}
+		log.Printf("twin backend: policy %s, speedup %gx", *policy, sp)
 	}
 
 	g, err := gateway.New(cfg)

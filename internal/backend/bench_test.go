@@ -1,0 +1,36 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"silica/internal/media"
+)
+
+// BenchmarkTwinRead measures the end-to-end cost of charging one read
+// through the twin — submit, simulate, wall-throttle, return — at a
+// speedup high enough that the throttle adds ~1ms floor per op. This
+// is the per-operation overhead the serving stack pays for mechanical
+// fidelity.
+func BenchmarkTwinRead(b *testing.B) {
+	cfg := DefaultTwinLibrary(media.TinyGeometry())
+	cfg.Platters = 256
+	cfg.Seed = 7
+	tw, err := NewTwin(TwinConfig{Library: cfg, Speedup: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tw.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			_, err := tw.Do(ctx, Op{Kind: OpRead, Platter: media.PlatterID(i * 17), TrackCount: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

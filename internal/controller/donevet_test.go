@@ -1,0 +1,169 @@
+package controller
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDoneCallbacksDoNotBlock is a vet-style check of the Request.Done
+// contract (see Request): completion callbacks fire inside the
+// simulation loop, often with the library lock held, so they must not
+// block. This test parses every .go file in the module and flags
+// blocking constructs — channel sends, channel receives, selects
+// without a default, time.Sleep, and Wait/Lock calls — inside any
+// function literal assigned to a field or variable named Done.
+// Closing a channel is fine (close never blocks); so is anything
+// annotated with a //sim:allow-block comment on or directly above the
+// offending line.
+func TestDoneCallbacksDoNotBlock(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		violations = append(violations, vetFile(t, path)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("Done callback blocks: %s", v)
+	}
+}
+
+// vetFile returns the blocking-construct violations of one file.
+func vetFile(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	allowed := allowedLines(fset, f)
+	var out []string
+	for _, fn := range doneFuncLits(f) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			reason := blockingReason(n)
+			if reason == "" {
+				return true
+			}
+			pos := fset.Position(n.Pos())
+			if allowed[pos.Line] || allowed[pos.Line-1] {
+				return true
+			}
+			out = append(out, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, reason))
+			return true
+		})
+	}
+	return out
+}
+
+// doneFuncLits collects function literals bound to a Done field or
+// variable: `Done: func(...)` composite-literal entries and
+// `x.Done = func(...)` / `Done = func(...)` assignments.
+func doneFuncLits(f *ast.File) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name == "Done" {
+				if fn, ok := n.Value.(*ast.FuncLit); ok {
+					lits = append(lits, fn)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				name := ""
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					name = l.Name
+				case *ast.SelectorExpr:
+					name = l.Sel.Name
+				}
+				if name != "Done" {
+					continue
+				}
+				if fn, ok := n.Rhs[i].(*ast.FuncLit); ok {
+					lits = append(lits, fn)
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// blockingReason classifies a node as a blocking construct, or returns
+// "" when it is fine inside a simulation-loop callback.
+func blockingReason(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send (use close, or buffer and //sim:allow-block)"
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive"
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default clause: non-blocking
+			}
+		}
+		return "select without default"
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		switch sel.Sel.Name {
+		case "Sleep":
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+				return "time.Sleep"
+			}
+		case "Wait":
+			return "Wait call"
+		case "Lock", "RLock":
+			return "mutex acquisition"
+		}
+	}
+	return ""
+}
+
+// allowedLines returns the set of lines carrying a //sim:allow-block
+// annotation.
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "sim:allow-block") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestPolicyLiveNSBeatsSP reproduces the paper's §7 policy ordering
+// through the live HTTP stack: under Zipf-skewed read traffic, the
+// no-shuttles lower bound must beat the shortest-paths strawman on p99
+// mechanical read latency (NS pays no shuttle travel; SP pays travel
+// plus congestion). The assertion uses the *virtual* mechanical
+// histogram, which is free of host scheduling noise.
+func TestPolicyLiveNSBeatsSP(t *testing.T) {
+	cfg := DefaultPolicyLiveConfig()
+	cfg.Clients = 8
+	cfg.OpsPerClient = 14
+	cfg.Speedup = 10000
+	res, err := PolicyComparisonLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]PolicyLiveRow{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r
+	}
+	for _, pol := range []string{"ns", "silica", "sp"} {
+		r, ok := rows[pol]
+		if !ok {
+			t.Fatalf("missing policy %s in %+v", pol, res.Rows)
+		}
+		if r.Gets == 0 {
+			t.Fatalf("%s: no gets completed", pol)
+		}
+		if r.MechVirtP99 <= 0 {
+			t.Fatalf("%s: mech virtual p99 = %v, want > 0", pol, r.MechVirtP99)
+		}
+		if r.VirtualSeconds <= 0 {
+			t.Fatalf("%s: virtual clock never advanced", pol)
+		}
+	}
+	if ns, sp := rows["ns"].MechVirtP99, rows["sp"].MechVirtP99; ns >= sp {
+		t.Errorf("NS p99 mechanical read latency %.2fs should beat SP %.2fs", ns, sp)
+	}
+}

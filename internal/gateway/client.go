@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silica/internal/backend"
 	"silica/internal/costmodel"
 	"silica/internal/media"
 	"silica/internal/metadata"
@@ -371,6 +372,44 @@ func (c *Client) Faults() (FaultsPayload, error) {
 		return out, err
 	}
 	resp, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Backend fetches the daemon's mechanical-backend status.
+func (c *Client) Backend() (backend.Status, error) {
+	var out backend.Status
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/backend", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// SetBackendPolicy switches the daemon's twin scheduling policy
+// (silica|sp|ns) and returns the resulting status.
+func (c *Client) SetBackendPolicy(policy string) (backend.Status, error) {
+	var out backend.Status
+	b, err := json.Marshal(BackendRequest{Policy: policy})
+	if err != nil {
+		return out, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/backend", bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hreq)
 	if err != nil {
 		return out, err
 	}

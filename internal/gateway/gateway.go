@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silica/internal/backend"
 	"silica/internal/faults"
 	"silica/internal/media"
 	"silica/internal/obs"
@@ -109,6 +110,18 @@ type Config struct {
 	// build the injector.
 	FaultRules []string
 	FaultSeed  uint64
+
+	// Backend selects the mechanical backend: "direct" (the zero-cost
+	// default) or "twin" (every media touch routed through the
+	// calibrated library simulation). Ignored when Service.Backend is
+	// already set by the caller.
+	Backend string
+	// BackendPolicy is the twin's scheduling policy: silica|sp|ns.
+	BackendPolicy string
+	// TwinSpeedup maps virtual seconds to wall seconds (the twin's
+	// clock runs this many times faster than real time). 0 takes the
+	// backend default (200).
+	TwinSpeedup float64
 }
 
 // DefaultConfig returns a small but genuinely concurrent gateway over
@@ -159,6 +172,9 @@ type request struct {
 	// queueSpan times the wait between admission and pickup.
 	ctx       context.Context
 	queueSpan obs.SpanEnd
+	// admitted stamps the moment the request entered its class queue,
+	// feeding the queue-wait histogram at worker pickup.
+	admitted time.Time
 	// canceledOnce dedupes cancellation accounting: the submitter (on
 	// abandon) and the worker (on pickup skip) both observe the same
 	// canceled request, but it must count once.
@@ -262,6 +278,31 @@ func New(cfg Config) (*Gateway, error) {
 	for _, rule := range cfg.FaultRules {
 		if err := cfg.Service.Faults.ArmString(rule); err != nil {
 			return nil, fmt.Errorf("gateway: bad fault rule %q: %w", rule, err)
+		}
+	}
+	if cfg.Service.Backend == nil {
+		switch cfg.Backend {
+		case "", "direct":
+			// service.New defaults to backend.Direct.
+		case "twin":
+			pol, err := backend.ParsePolicy(cfg.BackendPolicy)
+			if err != nil {
+				return nil, err
+			}
+			libCfg := backend.DefaultTwinLibrary(cfg.Service.Geom)
+			libCfg.Policy = pol
+			libCfg.Seed = cfg.Service.Seed ^ 0x7717
+			tw, err := backend.NewTwin(backend.TwinConfig{
+				Library: libCfg,
+				Speedup: cfg.TwinSpeedup,
+				Metrics: reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Service.Backend = tw
+		default:
+			return nil, fmt.Errorf("gateway: unknown backend %q (want direct|twin)", cfg.Backend)
 		}
 	}
 	svc, err := service.New(cfg.Service)
@@ -381,6 +422,7 @@ func (g *Gateway) submit(req *request) response {
 	}
 	req.done = make(chan response, 1)
 	req.queueSpan = obs.StartSpan(req.ctx, "queue")
+	req.admitted = time.Now()
 
 	g.admitMu.RLock()
 	if g.closed {
@@ -452,6 +494,9 @@ func (g *Gateway) worker(q chan *request) {
 	defer g.workerWG.Done()
 	for req := range q {
 		req.queueSpan.End()
+		if !req.admitted.IsZero() {
+			g.gm.cls[req.op].queueWait.Observe(time.Since(req.admitted).Seconds())
+		}
 		if err := req.ctx.Err(); err != nil {
 			// The caller gave up while the request sat queued: skip it
 			// entirely — it must never reach the service layer.
@@ -608,5 +653,22 @@ func (g *Gateway) Close() error {
 	if cerr := g.svc.ClosePersist(); cerr != nil && err == nil {
 		err = cerr
 	}
+	// The backend goes down last: the final flush above still bills its
+	// burns through it.
+	if berr := g.svc.Backend().Close(); berr != nil && err == nil {
+		err = berr
+	}
 	return err
+}
+
+// Backend exposes the mechanical backend (never nil).
+func (g *Gateway) Backend() backend.Backend { return g.svc.Backend() }
+
+// BackendStatus snapshots the backend for /v1/backend.
+func (g *Gateway) BackendStatus() backend.Status { return g.svc.Backend().Status() }
+
+// SetBackendPolicy switches the twin's scheduling policy at runtime
+// (errors on the direct backend or an unknown policy name).
+func (g *Gateway) SetBackendPolicy(name string) error {
+	return g.svc.Backend().SetPolicy(name)
 }

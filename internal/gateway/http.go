@@ -40,6 +40,11 @@ import (
 //	                                          staging, codec, repair families)
 //	GET    /v1/traces                       → TracesPayload JSON: recent sampled traces;
 //	                                          ?slow=1 returns the slow-trace ring
+//	GET    /v1/backend                      → backend.Status JSON (backend kind, policy,
+//	                                          virtual clock, queue depths, drive util,
+//	                                          shuttle stats)
+//	POST   /v1/backend                      → switch the twin's scheduling policy; body
+//	                                          {"policy":"silica|sp|ns"}; 409 on direct
 //	POST   /v1/faults                       → FaultsPayload JSON (arm fault-injection
 //	                                          rules; body = FaultsRequest)
 //	GET    /v1/faults                       → FaultsPayload JSON (armed rules + fire counts)
@@ -71,7 +76,33 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/faults", g.handleFaultsArm)
 	mux.HandleFunc("GET /v1/faults", g.handleFaultsList)
 	mux.HandleFunc("DELETE /v1/faults", g.handleFaultsClear)
+	mux.HandleFunc("GET /v1/backend", g.handleBackendStatus)
+	mux.HandleFunc("POST /v1/backend", g.handleBackendSet)
 	return mux
+}
+
+// BackendRequest is the POST /v1/backend body: a policy switch.
+type BackendRequest struct {
+	Policy string `json:"policy"`
+}
+
+func (g *Gateway) handleBackendStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, g.BackendStatus())
+}
+
+func (g *Gateway) handleBackendSet(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := g.SetBackendPolicy(req.Policy); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, g.BackendStatus())
 }
 
 // Healthz is the /v1/healthz payload.

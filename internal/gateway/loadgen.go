@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,12 @@ type LoadConfig struct {
 	// byte-exact audit — the hook the repair smoke test uses to wait for
 	// a mid-run platter kill's rebuild to complete.
 	BeforeVerify func()
+	// ZipfSkew skews read targets toward a client's oldest committed
+	// objects: a read picks index n·u^(1+ZipfSkew) for uniform u, so 0
+	// keeps the historical uniform choice and larger values concentrate
+	// traffic on a hot set — the access pattern that separates the
+	// paper's scheduling policies.
+	ZipfSkew float64
 }
 
 // DefaultLoadConfig returns a small mixed workload.
@@ -170,7 +177,7 @@ func (cl *loadClient) step(api API, cfg LoadConfig,
 	roll := cl.rng.Float64()
 	switch {
 	case roll < cfg.ReadFraction && len(cl.committed) > 0:
-		name := cl.committed[cl.rng.Intn(len(cl.committed))]
+		name := cl.committed[cl.readTarget(len(cl.committed), cfg.ZipfSkew)]
 		t0 := time.Now()
 		got, err := getWithRetry(api, cfg, "load", name, rejected)
 		if err != nil {
@@ -228,6 +235,19 @@ func (cl *loadClient) step(api API, cfg LoadConfig,
 			return
 		}
 	}
+}
+
+// readTarget picks which committed object a read hits: uniform when
+// skew is 0, concentrated on the low (oldest) indices otherwise.
+func (cl *loadClient) readTarget(n int, skew float64) int {
+	if skew <= 0 {
+		return cl.rng.Intn(n)
+	}
+	i := int(float64(n) * math.Pow(cl.rng.Float64(), 1+skew))
+	if i >= n {
+		i = n - 1
+	}
+	return i
 }
 
 // getWithRetry retries reads rejected by a full read queue.

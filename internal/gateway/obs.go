@@ -14,6 +14,7 @@ type classMetrics struct {
 	completed *obs.Counter
 	canceled  *obs.Counter
 	seconds   *obs.Histogram
+	queueWait *obs.Histogram
 }
 
 // gatewayMetrics holds the gateway's instruments, indexed by opKind so
@@ -41,6 +42,9 @@ func newGatewayMetrics(reg *obs.Registry, g *Gateway) gatewayMetrics {
 				"Requests abandoned by their caller's context before or while queued.", c),
 			seconds: reg.Histogram("silica_gateway_request_seconds",
 				"Queue wait plus service time per request.", obs.DurationBuckets(), c),
+			queueWait: reg.Histogram("silica_gateway_queue_wait_seconds",
+				"Wait between admission and worker pickup — the queueing share of request latency.",
+				obs.DurationBuckets(), c),
 		}
 	}
 	gm.flushes = reg.Counter("silica_gateway_flushes_total",

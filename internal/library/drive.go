@@ -126,6 +126,9 @@ func (d *ReadDrive) place(p media.PlatterID, reqs []*controller.Request) {
 	delay := d.pauseVerify()
 	mount := d.lib.mech.Mount
 	d.mountSecs += mount
+	if fn := d.lib.cfg.Observer.Mount; fn != nil {
+		fn(mount)
+	}
 	d.lib.sim.Schedule(delay+mount, d.serviceBatch)
 }
 
@@ -172,6 +175,9 @@ func (d *ReadDrive) readTime(r *controller.Request) float64 {
 func (d *ReadDrive) finishService() {
 	unmount := d.lib.mech.Unmount
 	d.mountSecs += unmount
+	if fn := d.lib.cfg.Observer.Mount; fn != nil {
+		fn(unmount)
+	}
 	d.lib.sim.Schedule(unmount, func() {
 		p := d.cust
 		if d.lib.cfg.Policy == PolicyNS {

@@ -12,6 +12,7 @@ package library
 
 import (
 	"fmt"
+	"sync"
 
 	"silica/internal/controller"
 	"silica/internal/geometry"
@@ -80,6 +81,21 @@ type Config struct {
 	// bound load) at the cost of intra-partition shuttle conflicts.
 	PartitionCap int
 	Seed         uint64
+	// Observer receives per-event mechanical timings as the simulation
+	// charges them; nil fields are ignored. The serving backend wires
+	// obs histograms here (mount seconds, shuttle travel legs).
+	Observer Observer
+}
+
+// Observer is a set of optional per-event callbacks, fired inside the
+// simulation loop. Implementations must not block and must not call
+// back into the library (the controller.Request.Done contract applies).
+type Observer struct {
+	// Mount observes one mount or unmount charge, in virtual seconds.
+	Mount func(seconds float64)
+	// Travel observes one shuttle travel leg (sampled motion plus
+	// congestion delay), in virtual seconds.
+	Travel func(seconds float64)
 }
 
 // BatteryConfig sizes the shuttle battery model. Capacity 0 disables
@@ -128,7 +144,17 @@ type Metrics struct {
 }
 
 // Library is one simulated library panel.
+//
+// Concurrency: the simulation itself is single-threaded. The classic
+// trace API (Submit, RunTrace, and the stats readers when called after
+// RunTrace returns) is safe from one goroutine, as every experiment
+// uses it. To serve live traffic, the concurrent-driver API —
+// SubmitAt, Advance, Drain, Snapshot — serializes on an internal
+// mutex so one goroutine can pump the event loop while others submit
+// requests and scrape statistics. Do not call the classic API while a
+// concurrent driver is active.
 type Library struct {
+	mu     sync.Mutex // serializes the concurrent-driver API
 	cfg    Config
 	sim    *sim.Simulator
 	rng    *sim.RNG
@@ -660,6 +686,8 @@ func (l *Library) shuttlesIn(part int) int {
 // simulation to completion, then closes accounting at the horizon (or
 // the last event, whichever is later).
 func (l *Library) RunTrace(reqs []*controller.Request, horizon float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, r := range reqs {
 		r := r
 		l.sim.At(r.Arrival, func() { l.Submit(r) })
@@ -674,6 +702,96 @@ func (l *Library) RunTrace(reqs []*controller.Request, horizon float64) {
 	}
 	l.accountedTo = end
 	l.resv.Prune(end)
+}
+
+// SubmitAt schedules req's submission at virtual time t (clamped up to
+// the current clock so a driver that has already advanced past t never
+// schedules into the past). Arrival and, when unset, the request ID
+// are assigned here so concurrent submitters need no further
+// coordination. Safe for concurrent use with Advance, Drain, and
+// Snapshot. req.Done fires later inside the event loop with the
+// library lock held — it must follow the controller.Request.Done
+// no-blocking contract.
+func (l *Library) SubmitAt(t float64, req *controller.Request) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now := l.sim.Now(); t < now {
+		t = now
+	}
+	req.Arrival = t
+	if req.ID == 0 {
+		req.ID = l.NextRequestID()
+	}
+	l.sim.At(t, func() { l.Submit(req) })
+}
+
+// Advance fires every event due at or before virtual time t and moves
+// the clock to t. It returns the time of the next pending event (ok
+// false when the queue is idle). This is the pump a wall-clock driver
+// calls: advance to the throttled virtual now, sleep until the next
+// event's wall time, repeat.
+func (l *Library) Advance(t float64) (next float64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sim.RunUntil(t)
+	return l.sim.NextAt()
+}
+
+// Drain fires every pending event immediately, regardless of the
+// wall clock — completing all in-flight requests at their scheduled
+// virtual times. Used on shutdown and before a policy swap so no
+// Done callback is abandoned.
+func (l *Library) Drain() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sim.Run()
+}
+
+// LiveStats is a concurrency-safe snapshot of the signals a serving
+// backend exports: the virtual clock, queue depths by traffic class,
+// the Figure 6 drive-utilization breakdown, and the Figure 7 shuttle
+// aggregates.
+type LiveStats struct {
+	VirtualNow    float64
+	Pending       int // queued (not yet mounted) requests
+	QueueDepth    [controller.NumClasses]int
+	Submitted     int
+	Completed     int
+	InternalReads int
+	Unrecoverable int
+	BytesRead     int64
+	DriveUtil     DriveUtil
+	Shuttles      ShuttleStats
+}
+
+// Snapshot captures LiveStats under the library lock. Drive
+// verification accounting is flushed to the current clock first, so
+// utilization fractions are current rather than mount-edge stale.
+func (l *Library) Snapshot() LiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.sim.Now()
+	for _, d := range l.drives {
+		d.flush(now)
+	}
+	if now > l.accountedTo {
+		l.accountedTo = now
+	}
+	ls := LiveStats{
+		VirtualNow:    now,
+		Pending:       l.sched.Pending(),
+		Submitted:     l.metrics.Submitted,
+		Completed:     l.metrics.Completions.N(),
+		InternalReads: l.metrics.InternalReads,
+		Unrecoverable: l.metrics.Unrecoverable,
+		BytesRead:     l.metrics.BytesRead,
+		DriveUtil:     l.driveUtilizationLocked(now),
+		Shuttles:      l.ShuttleStats(),
+	}
+	for c := controller.Class(0); c < controller.NumClasses; c++ {
+		ls.QueueDepth[c] = l.sched.PendingByClass(c)
+	}
+	return ls
 }
 
 // DriveUtil is the Figure 6 breakdown, as fractions of the horizon.
@@ -693,6 +811,10 @@ func (u DriveUtil) Utilization() float64 { return u.Read + u.Verify + u.Mount }
 // accounting runs to the trace horizon even when the event queue
 // drains early, so the divisor is clamped up to the accounted time.
 func (l *Library) DriveUtilization(horizon float64) DriveUtil {
+	return l.driveUtilizationLocked(horizon)
+}
+
+func (l *Library) driveUtilizationLocked(horizon float64) DriveUtil {
 	if horizon < l.accountedTo {
 		horizon = l.accountedTo
 	}

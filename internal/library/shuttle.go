@@ -62,6 +62,9 @@ func (s *Shuttle) travelTo(dst geometry.Pos, then func()) {
 		s.battery -= e
 	}
 	lib.metrics.TravelTimes.Add(sampled + delay)
+	if fn := lib.cfg.Observer.Travel; fn != nil {
+		fn(sampled + delay)
+	}
 
 	s.pos = dst
 	lib.sim.Schedule(sampled+delay, then)

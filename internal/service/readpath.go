@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"silica/internal/backend"
 	"silica/internal/faults"
 	"silica/internal/keystore"
 	"silica/internal/media"
@@ -90,6 +91,24 @@ func (s *Service) readExtents(ctx context.Context, v *metadata.Version, rng *sim
 	sort.Slice(extents, func(i, j int) bool { return extents[i].Shard < extents[j].Shard })
 	var out []byte
 	for _, e := range extents {
+		// Bill the extent's track span to the mechanical backend before
+		// decoding it: under the twin this blocks for drive allocation,
+		// shuttle travel, mount, seek and scan at the configured speedup.
+		iPerTrack := s.cfg.Geom.InfoSectorsPerTrack
+		first := e.FirstSector / iPerTrack
+		last := (e.FirstSector + e.SectorCount - 1) / iPerTrack
+		if last < first {
+			last = first
+		}
+		if err := s.chargeMech(ctx, backend.Op{
+			Kind:       backend.OpRead,
+			Platter:    e.Platter,
+			StartTrack: first,
+			TrackCount: last - first + 1,
+			Bytes:      int64(e.SectorCount) * int64(s.cfg.Geom.SectorPayloadBytes),
+		}); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", e.Shard, err)
+		}
 		for k := 0; k < e.SectorCount; k++ {
 			payload, err := s.readInfoSector(ctx, e.Platter, e.FirstSector+k, rng)
 			if err != nil {

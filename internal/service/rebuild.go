@@ -1,8 +1,11 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"silica/internal/backend"
 	"silica/internal/media"
 	"silica/internal/persist"
 	"silica/internal/repair"
@@ -74,6 +77,29 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 		active = append(active, pos)
 		memberPayloads[pos] = make([][]byte, used)
 	}
+	// Bill one rebuild member read per active set member, concurrently:
+	// the twin schedules them as ClassRebuild traffic across its drives,
+	// so repair competes realistically with foreground reads.
+	iPT := geom.InfoSectorsPerTrack
+	var chargeWG sync.WaitGroup
+	for _, pos := range active {
+		mpi := infos[pos]
+		mTracks := (mpi.usedInfoSectors + iPT - 1) / iPT
+		if mTracks < 1 {
+			mTracks = 1
+		}
+		chargeWG.Add(1)
+		go func(id media.PlatterID, tracks int) {
+			defer chargeWG.Done()
+			_ = s.chargeMech(context.Background(), backend.Op{
+				Kind:       backend.OpRebuildRead,
+				Platter:    id,
+				TrackCount: tracks,
+				Bytes:      int64(tracks) * geom.TrackRawBytes(),
+			})
+		}(members[pos], mTracks)
+	}
+	chargeWG.Wait()
 	decRNG := rng.Fork("member-decode")
 	_ = s.eng.ForEach(len(active)*used, func(idx int) error {
 		pos, sec := active[idx/used], idx%used
@@ -136,10 +162,16 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 	if err := s.burnPlatter(npi, payloads); err != nil {
 		return -1, err
 	}
+	iPerTrack := geom.InfoSectorsPerTrack
+	_ = s.chargeMech(context.Background(), backend.Op{
+		Kind:       backend.OpBurn,
+		Platter:    newID,
+		TrackCount: (used + iPerTrack - 1) / iPerTrack,
+		Bytes:      int64(used) * int64(geom.SectorPayloadBytes),
+	})
 	if err := npi.platter.Transition(media.Verifying); err != nil {
 		return -1, err
 	}
-	iPerTrack := geom.InfoSectorsPerTrack
 	if !s.verifyPlatter(npi, (used+iPerTrack-1)/iPerTrack, rng) {
 		s.addStats(func(st *Stats) { st.PlattersFaulted++ })
 		if err := npi.platter.Transition(media.Faulted); err != nil {

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"silica/internal/backend"
 	"silica/internal/media"
 	"silica/internal/repair"
 )
@@ -58,6 +60,16 @@ func (s *Service) ScrubPlatter(id media.PlatterID, maxTracks int) (repair.ScrubR
 	}
 	start := int(pi.scrubCursor.Add(int64(maxTracks))-int64(maxTracks)) % usedTracks
 	rng := s.rootRNG.Fork(fmt.Sprintf("scrub-%d-%d", id, s.opSeq.Add(1)))
+	// Bill the sampled window to the mechanical backend as lowest-
+	// priority scrub traffic; under the twin this waits behind every
+	// foreground read and burn for the platter's drive time.
+	_ = s.chargeMech(context.Background(), backend.Op{
+		Kind:       backend.OpScrub,
+		Platter:    id,
+		StartTrack: start,
+		TrackCount: maxTracks,
+		Bytes:      int64(maxTracks) * geom.TrackRawBytes(),
+	})
 
 	// Sample every sector of the window in parallel; each sector forks
 	// its noise stream from (physical track, sector), so the report is

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"silica/internal/backend"
 	"silica/internal/codec"
 	"silica/internal/faults"
 	"silica/internal/keystore"
@@ -82,6 +83,11 @@ type Config struct {
 	// points (media reads/writes, staging reservations, flush phases).
 	// Nil disables fault injection at zero cost.
 	Faults *faults.Injector
+	// Backend charges mechanical latency for every media touch (reads,
+	// burns, scrub samples, rebuild member reads). Nil means
+	// backend.Direct: the historical zero-cost path. Backends only add
+	// latency — bytes are identical under any backend.
+	Backend backend.Backend
 	// PersistDir, when set, makes the service durable: state recovers
 	// from snapshot+WAL at startup and every acknowledged mutation is
 	// logged (and fsynced) before the acknowledgment. Empty keeps the
@@ -167,11 +173,12 @@ type Service struct {
 	// read-back symbol buffer, voxel/LDPC scratch).
 	scratch sync.Pool
 
-	keys   *keystore.Store
-	meta   *metadata.Store
-	tier   *staging.Tier
-	health *repair.Registry
-	faults *faults.Injector // nil-safe; Config.Faults
+	keys    *keystore.Store
+	meta    *metadata.Store
+	tier    *staging.Tier
+	health  *repair.Registry
+	faults  *faults.Injector // nil-safe; Config.Faults
+	backend backend.Backend  // never nil; Config.Backend or Direct
 
 	withinTrack *nc.Group
 	largeGroup  *nc.Group
@@ -243,10 +250,14 @@ func New(cfg Config) (*Service, error) {
 		tier:        staging.NewTier(cfg.StagingCapacity),
 		health:      repair.NewRegistry(),
 		faults:      cfg.Faults,
+		backend:     cfg.Backend,
 		withinTrack: wt,
 		largeGroup:  lg,
 		setGroup:    sg,
 		platters:    make(map[media.PlatterID]*platterInfo),
+	}
+	if s.backend == nil {
+		s.backend = backend.Direct{}
 	}
 	s.stats.MinVerifyMargin = 1
 	s.stats.ScrubMinMargin = 1
@@ -272,6 +283,23 @@ func New(cfg Config) (*Service, error) {
 // Faults exposes the fault injector (nil when disabled), for the
 // gateway's admin endpoint.
 func (s *Service) Faults() *faults.Injector { return s.faults }
+
+// Backend exposes the mechanical backend (never nil), for the
+// gateway's /v1/backend endpoint.
+func (s *Service) Backend() backend.Backend { return s.backend }
+
+// chargeMech bills one media touch to the backend, blocking for its
+// mechanical latency. Bytes are never affected. Only the caller's own
+// cancellation propagates as an error; a closing backend charges
+// nothing and lets background work (scrub, rebuild, final flush)
+// finish unbilled.
+func (s *Service) chargeMech(ctx context.Context, op backend.Op) error {
+	_, err := s.backend.Do(ctx, op)
+	if err != nil && ctx.Err() != nil {
+		return err
+	}
+	return nil
+}
 
 // codecScratch is one worker's reusable buffers for the sector hot
 // paths: the voxel/LDPC pipeline scratch, a scramble output buffer, and

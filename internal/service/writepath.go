@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"silica/internal/backend"
 	"silica/internal/faults"
 	"silica/internal/layout"
 	"silica/internal/media"
@@ -329,6 +330,16 @@ func (s *Service) buildPlatter(ctx context.Context, pd *pendingPlatter, byID map
 	}
 	burn.End()
 	burnDone()
+	// Bill the burn's mechanical cost (write-drive occupancy under the
+	// twin, arbitrated against foreground reads as ClassBurn traffic).
+	if err := s.chargeMech(ctx, backend.Op{
+		Kind:       backend.OpBurn,
+		Platter:    pd.id,
+		TrackCount: usedTracks,
+		Bytes:      int64(plan.SectorsUsed) * int64(geom.SectorPayloadBytes),
+	}); err != nil {
+		return fmt.Errorf("service: flush canceled during burn: %w", err)
+	}
 	// Verification: full read-back through the real read path (§3.1).
 	if err := p.Transition(media.Verifying); err != nil {
 		return err
@@ -752,6 +763,12 @@ func (s *Service) burnRedundancyPlatter(payloads [][]byte, maxSectors, setIdx, s
 			return nil, 0, err
 		}
 		usedTracks := (maxSectors + iPerTrack - 1) / iPerTrack
+		_ = s.chargeMech(context.Background(), backend.Op{
+			Kind:       backend.OpBurn,
+			Platter:    rid,
+			TrackCount: usedTracks,
+			Bytes:      int64(maxSectors) * int64(geom.SectorPayloadBytes),
+		})
 		mustTransition(rpi.platter, media.Verifying)
 		s.verifyPlatter(rpi, usedTracks, rng)
 		mustTransition(rpi.platter, media.Stored)

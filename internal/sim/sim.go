@@ -105,6 +105,20 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	return e
 }
 
+// NextAt reports the virtual time of the earliest live pending event.
+// ok is false when the queue holds no live events. Cancelled events
+// encountered at the top of the heap are discarded.
+func (s *Simulator) NextAt() (Time, bool) {
+	for len(s.events) > 0 {
+		if s.events[0].dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.
 func (s *Simulator) Step() bool {

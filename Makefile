@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke bench clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke bench bench-diff clean
 
 all: tier1
 
@@ -60,6 +60,8 @@ obs-smoke:
 	  /tmp/silica-obs-smoke/silicactl top -url $(OBS_URL) -n 1; \
 	  for fam in silica_gateway_queue_depth silica_gateway_request_seconds \
 	             silica_staging_used_bytes silica_codec_jobs_total \
+	             silica_codec_encode_seconds silica_codec_decode_seconds \
+	             silica_codec_sectors_total silica_codec_sectors_per_second \
 	             silica_repair_scrubs_total silica_flush_phase_seconds; do \
 	    grep -q "^# TYPE $$fam " /tmp/silica-obs-smoke/metrics.txt \
 	      || { echo "missing metric family: $$fam"; exit 1; }; \
@@ -86,11 +88,12 @@ twin-smoke:
 		-backend twin -policy silica -twin-speedup 20000
 	$(GO) test ./internal/gateway -run 'TestTwinE2E' -v -timeout 300s
 
-# Codec benchmarks: GF(256) kernels, per-sector encode/decode, and the
-# parallel burn/flush paths at workers=1 vs workers=GOMAXPROCS. Raw
-# `go test -json` events land in BENCH_codec.json for trend tracking;
-# the burn/flush rows carry `workers` and `MB/s/core` metrics so runs
-# on different core counts compare per-core scaling directly.
+# Codec benchmarks: GF(256) kernels, the word-packed per-sector
+# encode/decode (hard-decision fast path and the forced-BP soft path),
+# and the parallel burn/flush paths at workers=1, 4, and GOMAXPROCS.
+# Raw `go test -json` events land in BENCH_codec.json for trend
+# tracking; the burn/flush rows carry `workers` and `MB/s/core` metrics
+# so runs on different core counts compare per-core scaling directly.
 bench:
 	$(GO) test -json -run '^$$' \
 		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel|TwinRead' \
@@ -98,6 +101,18 @@ bench:
 		> BENCH_codec.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_codec.json \
 		| sed -e 's/"Output":"//' -e 's/\\n$$//' -e 's/\\t/\t/g'
+
+# Benchmark trend check: capture a fresh run next to the committed
+# baseline and print per-benchmark ns/op and MB/s movement. Report-only
+# (CI runs it continue-on-error): refresh BENCH_codec.json via `make
+# bench` when a shift is real and intended.
+BENCH_NEW ?= /tmp/BENCH_new.json
+bench-diff:
+	$(GO) test -json -run '^$$' \
+		-bench 'EncodeSector|DecodeSector|GF256MulAddVec|BurnPlatter|FlushParallel|TwinRead' \
+		-benchmem ./internal/gf256/ ./internal/ldpc/ ./internal/service/ ./internal/backend/ \
+		> $(BENCH_NEW)
+	$(GO) run ./scripts/benchdiff BENCH_codec.json $(BENCH_NEW)
 
 clean:
 	$(GO) clean ./...

@@ -190,11 +190,20 @@ func printTop(url string, samples []obs.PromSample, bst backend.Status) {
 		fmtBytes(val("silica_staging_capacity_bytes", nil)),
 		fmtBytes(val("silica_staging_peak_bytes", nil)),
 		val("silica_staging_pending_files", nil))
+	encP50, _ := obs.HistQuantile(samples, "silica_codec_encode_seconds", nil, 0.50)
+	decP50, _ := obs.HistQuantile(samples, "silica_codec_decode_seconds", nil, 0.50)
 	fmt.Printf("codec    %.0f/%.0f workers busy, %.0f jobs (%.0f token misses)\n",
 		val("silica_codec_busy_workers", nil),
 		val("silica_codec_workers", nil),
 		val("silica_codec_jobs_total", nil),
 		val("silica_codec_token_misses_total", nil))
+	fmt.Printf("  ldpc   encode p50 %s (%.0f sectors, %.0f/s), decode p50 %s (%.0f sectors, %.0f/s)\n",
+		fmtSeconds(encP50),
+		val("silica_codec_sectors_total", map[string]string{"op": "encode"}),
+		val("silica_codec_sectors_per_second", map[string]string{"op": "encode"}),
+		fmtSeconds(decP50),
+		val("silica_codec_sectors_total", map[string]string{"op": "decode"}),
+		val("silica_codec_sectors_per_second", map[string]string{"op": "decode"}))
 	fmt.Printf("flush    %.0f passes, p99 %s\n",
 		val("silica_gateway_flushes_total", nil), fmtSeconds(flushP99))
 	fmt.Printf("repair   %.0f scrubs (%.0f sector failures), rebuilds %.0f done / %.0f failed, %.0f active\n",

@@ -131,6 +131,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Codec engine: the flush ran encode jobs through the worker pool.
 	atLeast("silica_codec_jobs_total", nil, 1)
 	atLeast("silica_codec_workers", nil, 1)
+	// Codec hot path: the flush's burn encoded sectors and its verify
+	// pass decoded them, so both histograms and counters moved; the
+	// throughput gauges exist (possibly zero between scrapes).
+	atLeast("silica_codec_encode_seconds_count", nil, 1)
+	atLeast("silica_codec_decode_seconds_count", nil, 1)
+	atLeast("silica_codec_sectors_total", map[string]string{"op": "encode"}, 1)
+	atLeast("silica_codec_sectors_total", map[string]string{"op": "decode"}, 1)
+	atLeast("silica_codec_sectors_per_second", map[string]string{"op": "encode"}, 0)
+	atLeast("silica_codec_sectors_per_second", map[string]string{"op": "decode"}, 0)
 	// Flush phases.
 	atLeast("silica_flush_phase_seconds_count", map[string]string{"phase": "encode"}, 1)
 	atLeast("silica_flush_phase_seconds_count", map[string]string{"phase": "verify"}, 1)

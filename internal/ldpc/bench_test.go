@@ -55,11 +55,40 @@ func BenchmarkDecodeSector(b *testing.B) {
 		rx[rng.Intn(len(rx))] ^= 1
 	}
 	llr := HardLLR(rx, 4)
+	buf := make([]byte, sc.PayloadBytes)
 	b.ReportAllocs()
 	b.SetBytes(int64(sc.PayloadBytes))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sc.DecodeSector(llr, 50)
+		res := sc.DecodeSectorInto(llr, 50, buf)
+		if !res.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkDecodeSectorBP forces every block through full belief
+// propagation (noise past the bit-flip budget) to track the soft-decode
+// path the scrub/verify loops hit on marginal media.
+func BenchmarkDecodeSectorBP(b *testing.B) {
+	sc := benchCodec(b)
+	rng := sim.NewRNG(5)
+	payload := make([]byte, sc.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	coded := sc.EncodeSector(payload)
+	rx := append([]uint8(nil), coded...)
+	for k := 0; k < sc.Blocks()*6; k++ {
+		rx[rng.Intn(len(rx))] ^= 1
+	}
+	llr := HardLLR(rx, 2)
+	buf := make([]byte, sc.PayloadBytes)
+	b.ReportAllocs()
+	b.SetBytes(int64(sc.PayloadBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.DecodeSectorInto(llr, 50, buf)
 		if !res.OK {
 			b.Fatal("decode failed")
 		}

@@ -8,6 +8,8 @@
 // bit-flipping decoder available as a cheap fallback.
 package ldpc
 
+import "encoding/binary"
+
 // bitset is a packed bit vector used during encoder construction and
 // encoding, little-endian within each word.
 type bitset []uint64
@@ -70,5 +72,75 @@ func BitsToBytesInto(bits []uint8, out []byte) {
 			b |= byte(bits[i*8+j]&1) << uint(j)
 		}
 		out[i] = b
+	}
+}
+
+// PackBits packs a 0/1 slice LSB-first into 64-bit words, the layout the
+// fast encode/decode paths operate on: bit i of the message lives at
+// words[i/64] bit i%64, matching the little-endian byte packing of
+// BitsToBytes word for word.
+func PackBits(bits []uint8) []uint64 {
+	out := make([]uint64, (len(bits)+63)/64)
+	PackBitsInto(bits, out)
+	return out
+}
+
+// PackBitsInto packs a 0/1 slice LSB-first into words, which must hold
+// at least (len(bits)+63)/64 entries. The unused high bits of the last
+// written word are zeroed; words beyond that are left untouched.
+func PackBitsInto(bits []uint8, words []uint64) {
+	n := (len(bits) + 63) / 64
+	for i := 0; i < n; i++ {
+		words[i] = 0
+	}
+	for i, b := range bits {
+		words[i>>6] |= uint64(b&1) << (uint(i) & 63)
+	}
+}
+
+// UnpackBitsInto expands packed words back into a 0/1 slice; the inverse
+// of PackBitsInto for the first len(bits) bits.
+func UnpackBitsInto(words []uint64, bits []uint8) {
+	for i := range bits {
+		bits[i] = uint8(words[i>>6] >> (uint(i) & 63) & 1)
+	}
+}
+
+// packBytesInto packs bytes little-endian into words, writing exactly
+// (len(p)+7)/8 words. The unused high bytes of the last written word are
+// zeroed; words beyond that are left untouched — sector scratch relies
+// on this so its zero-padded tail survives reuse without re-zeroing.
+func packBytesInto(p []byte, words []uint64) {
+	n := len(p) >> 3
+	for i := 0; i < n; i++ {
+		words[i] = binary.LittleEndian.Uint64(p[i*8:])
+	}
+	if rem := len(p) & 7; rem != 0 {
+		var w uint64
+		for j := 0; j < rem; j++ {
+			w |= uint64(p[n*8+j]) << (8 * uint(j))
+		}
+		words[n] = w
+	}
+}
+
+// extractBits copies n bits of src starting at bit offset off into dst,
+// bit 0 of dst[0] receiving src bit off. It writes (n+63)/64 words and
+// zeroes the high bits of the last one. When off is not word-aligned the
+// shifted read touches one word past the n-bit span, so src must carry a
+// padding word beyond its live bits (sector scratch allocates one).
+func extractBits(src []uint64, off, n int, dst []uint64) {
+	w := off >> 6
+	sh := uint(off & 63)
+	words := (n + 63) / 64
+	if sh == 0 {
+		copy(dst[:words], src[w:w+words])
+	} else {
+		for i := 0; i < words; i++ {
+			dst[i] = src[w+i]>>sh | src[w+i+1]<<(64-sh)
+		}
+	}
+	if tail := uint(n) & 63; tail != 0 {
+		dst[words-1] &= 1<<tail - 1
 	}
 }

@@ -3,6 +3,7 @@ package ldpc
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 
 	"silica/internal/sim"
@@ -18,12 +19,21 @@ type Code struct {
 	N, K, M   int
 	ColWeight int
 
-	// Sparse parity-check structure, used by the decoders.
+	// Sparse parity-check structure, used by the decoders. Both
+	// adjacency lists are sorted ascending so the decode inner loops
+	// stream through posterior/codeword memory instead of hopping.
 	checkVars [][]int32 // per check row: variable indices
 	varChecks [][]int32 // per variable: check row indices
 
 	// Encoder: parity[i] = encRows[i] · message (GF(2) dot product).
-	encRows []bitset
+	// encRows is the construction-time bitset form; encWords is the same
+	// matrix flattened into one contiguous row-major []uint64 (kWords
+	// words per row) so the hot encode walks it with pure word loads.
+	encRows  []bitset
+	encWords []uint64
+	chkWords []uint64 // parity-check rows packed over N bits, row-major
+	kWords   int      // words per packed K-bit message
+	nWords   int      // words per packed N-bit codeword
 
 	dataPos   []int // message bit -> codeword position
 	parityPos []int // parity bit -> codeword position
@@ -34,20 +44,34 @@ type Code struct {
 	// check ci, and varEdge[varOff[v]:varOff[v+1]] lists the edges
 	// incident to variable v. Flat storage keeps the inner loops
 	// cache-friendly and lets one pooled scratch serve every decode.
-	edgeOff []int32 // len M+1: prefix offsets into the edge arrays
-	varOff  []int32 // len N+1: prefix offsets into varEdge
-	varEdge []int32 // len E: edge indices grouped by variable
-	edges   int     // E: total edge count
+	edgeOff     []int32 // len M+1: prefix offsets into the edge arrays
+	varOff      []int32 // len N+1: prefix offsets into varEdge
+	varEdge     []int32 // len E: edge indices grouped by variable
+	edges       int     // E: total edge count
+	maxCheckDeg int     // widest check row
 
 	scratch sync.Pool // *bpScratch, sized for this code
 }
 
 // buildDecodeIndex flattens the Tanner graph into the edge-indexed
-// arrays the BP decoder iterates over.
+// arrays the BP decoder iterates over. It first sorts every adjacency
+// list ascending: the construction deals edges in shuffled order, and
+// sorted rows turn the per-check posterior gathers into near-sequential
+// memory walks.
 func (c *Code) buildDecodeIndex() {
+	for _, vars := range c.checkVars {
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	}
+	for _, chk := range c.varChecks {
+		sort.Slice(chk, func(i, j int) bool { return chk[i] < chk[j] })
+	}
 	c.edgeOff = make([]int32, c.M+1)
+	c.maxCheckDeg = 0
 	for ci, vars := range c.checkVars {
 		c.edgeOff[ci+1] = c.edgeOff[ci] + int32(len(vars))
+		if len(vars) > c.maxCheckDeg {
+			c.maxCheckDeg = len(vars)
+		}
 	}
 	c.edges = int(c.edgeOff[c.M])
 	c.varOff = make([]int32, c.N+1)
@@ -70,12 +94,38 @@ func (c *Code) buildDecodeIndex() {
 	}
 }
 
+// buildEncodeWords flattens encRows into the contiguous word matrix the
+// fast encoder streams through, and packs the parity-check rows the
+// same way (chkWords) so syndrome evaluation is word AND/XOR/popcount
+// instead of per-edge bit gathers.
+func (c *Code) buildEncodeWords() {
+	c.kWords = (c.K + 63) / 64
+	c.nWords = (c.N + 63) / 64
+	c.encWords = make([]uint64, c.M*c.kWords)
+	for i, row := range c.encRows {
+		copy(c.encWords[i*c.kWords:(i+1)*c.kWords], row)
+	}
+	c.chkWords = make([]uint64, c.M*c.nWords)
+	for ci, vars := range c.checkVars {
+		row := c.chkWords[ci*c.nWords : (ci+1)*c.nWords]
+		for _, v := range vars {
+			row[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+}
+
 // bpScratch is the per-decode working set, recycled through Code.scratch
-// so steady-state decoding allocates nothing.
+// so steady-state encoding and decoding allocate nothing.
 type bpScratch struct {
-	v2c  []float64 // variable→check messages, edge-indexed
-	c2v  []float64 // check→variable messages, edge-indexed
-	hard []uint8   // hard decision, length N
+	c2v      []float32 // check→variable messages, edge-indexed
+	total    []float32 // per-variable posterior (llr + incoming c2v)
+	mbuf     []float32 // one check's lazy v2c messages, len maxCheckDeg
+	hard     []uint8   // hard decision, length N
+	synd     []uint8   // per-check syndrome of hard, length M
+	cnt      []uint8   // bit-flip: unsat checks per variable, kept zeroed
+	touched  []int32   // bit-flip: variables with nonzero cnt this round
+	cwWords  []uint64  // packed hard-decision codeword, nWords
+	msgWords []uint64  // packed message staging for EncodeInto, kWords+1
 }
 
 func (c *Code) getScratch() *bpScratch {
@@ -83,9 +133,15 @@ func (c *Code) getScratch() *bpScratch {
 		return sc
 	}
 	return &bpScratch{
-		v2c:  make([]float64, c.edges),
-		c2v:  make([]float64, c.edges),
-		hard: make([]uint8, c.N),
+		c2v:      make([]float32, c.edges),
+		total:    make([]float32, c.N),
+		mbuf:     make([]float32, c.maxCheckDeg),
+		hard:     make([]uint8, c.N),
+		synd:     make([]uint8, c.M),
+		cnt:      make([]uint8, c.N),
+		touched:  make([]int32, 0, c.N),
+		cwWords:  make([]uint64, c.nWords),
+		msgWords: make([]uint64, c.kWords+1),
 	}
 }
 
@@ -262,6 +318,7 @@ func tryConstruct(n, k, colWeight int, rng *sim.RNG) (*Code, bool) {
 		posIsData: posIsData,
 	}
 	c.buildDecodeIndex()
+	c.buildEncodeWords()
 	return c, true
 }
 
@@ -275,8 +332,45 @@ func (c *Code) Encode(msg []uint8) []uint8 {
 	return cw
 }
 
-// EncodeInto encodes msg into cw (length N) without allocating.
+// EncodeInto encodes msg into cw (length N) without allocating. The
+// message is packed into machine words once and each parity bit costs
+// kWords AND+XOR word ops plus one popcount, instead of a walk over the
+// row's set bits.
 func (c *Code) EncodeInto(msg, cw []uint8) {
+	if len(msg) != c.K {
+		panic(fmt.Sprintf("ldpc: message length %d, want %d", len(msg), c.K))
+	}
+	if len(cw) != c.N {
+		panic(fmt.Sprintf("ldpc: codeword buffer length %d, want %d", len(cw), c.N))
+	}
+	sc := c.getScratch()
+	PackBitsInto(msg, sc.msgWords[:c.kWords])
+	c.encodeFromWords(sc.msgWords, cw)
+	c.putScratch(sc)
+}
+
+// encodeFromWords encodes a packed K-bit message (msgWords[:kWords],
+// LSB-first) into cw. parity(row · msg) over GF(2) is the parity of
+// popcount(row AND msg); XOR-folding the per-word ANDs preserves
+// popcount parity, so each row needs a single popcount at the end.
+func (c *Code) encodeFromWords(msgWords []uint64, cw []uint8) {
+	for i, pos := range c.dataPos {
+		cw[pos] = uint8(msgWords[i>>6] >> (uint(i) & 63) & 1)
+	}
+	kw := c.kWords
+	for i, pos := range c.parityPos {
+		row := c.encWords[i*kw : i*kw+kw]
+		var acc uint64
+		for w, rw := range row {
+			acc ^= rw & msgWords[w]
+		}
+		cw[pos] = uint8(bits.OnesCount64(acc) & 1)
+	}
+}
+
+// EncodeIntoReference is the original bit-serial encoder, retained as
+// the ground truth the word-packed fast path is property-tested against.
+func (c *Code) EncodeIntoReference(msg, cw []uint8) {
 	if len(msg) != c.K {
 		panic(fmt.Sprintf("ldpc: message length %d, want %d", len(msg), c.K))
 	}
@@ -332,4 +426,57 @@ func (c *Code) SyndromeOK(cw []uint8) bool {
 		}
 	}
 	return true
+}
+
+// SyndromeOKWords is SyndromeOK over a packed codeword ((N+63)/64
+// words, LSB-first): each check costs nWords AND+XOR word ops and one
+// popcount against the packed parity-check row, which is what makes
+// the hard-decision first pass of sector decode nearly free.
+func (c *Code) SyndromeOKWords(cw []uint64) bool {
+	nw := c.nWords
+	cw = cw[:nw]
+	for ci := 0; ci < c.M; ci++ {
+		row := c.chkWords[ci*nw : ci*nw+nw]
+		var acc uint64
+		for w, rw := range row {
+			acc ^= rw & cw[w]
+		}
+		if bits.OnesCount64(acc)&1 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// syndromePacked fills synd with the per-check syndrome of the packed
+// codeword and returns the number of unsatisfied checks.
+func (c *Code) syndromePacked(cw []uint64, synd []uint8) int {
+	unsat := 0
+	nw := c.nWords
+	cw = cw[:nw]
+	for ci := 0; ci < c.M; ci++ {
+		row := c.chkWords[ci*nw : ci*nw+nw]
+		var acc uint64
+		for w, rw := range row {
+			acc ^= rw & cw[w]
+		}
+		s := uint8(bits.OnesCount64(acc) & 1)
+		synd[ci] = s
+		unsat += int(s)
+	}
+	return unsat
+}
+
+// syndromeHard is syndromePacked over an unpacked 0/1 codeword.
+func (c *Code) syndromeHard(hard, synd []uint8) int {
+	unsat := 0
+	for ci, vars := range c.checkVars {
+		var s uint8
+		for _, v := range vars {
+			s ^= hard[v]
+		}
+		synd[ci] = s
+		unsat += int(s)
+	}
+	return unsat
 }

@@ -6,18 +6,22 @@ import "math"
 type DecodeResult struct {
 	Bits       []uint8 // hard-decided codeword (length N)
 	OK         bool    // all parity checks satisfied
-	Iterations int     // BP iterations actually run
+	Iterations int     // decoder iterations actually run (0 = clean input)
 }
 
 // minSumScale is the normalization factor for min-sum BP; 0.75 is the
 // standard choice that closes most of the gap to full sum-product.
 const minSumScale = 0.75
 
+const minSumScale32 = float32(minSumScale)
+
 // DecodeBP runs normalized min-sum belief propagation over channel LLRs
 // (positive LLR means "bit is 0", the usual convention). It stops early
-// once the syndrome is satisfied and returns the hard decision either
-// way; OK distinguishes success from decoder failure (which the caller
-// treats as a sector erasure handled by network coding, per §5).
+// once the syndrome is satisfied — including before the first iteration
+// when the hard decision is already a codeword (Iterations=0) — and
+// returns the hard decision either way; OK distinguishes success from
+// decoder failure (which the caller treats as a sector erasure handled
+// by network coding, per §5).
 func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
 	sc := c.getScratch()
 	res := c.decodeBP(llr, maxIter, sc)
@@ -28,10 +32,23 @@ func (c *Code) DecodeBP(llr []float64, maxIter int) DecodeResult {
 	return res
 }
 
-// decodeBP is DecodeBP on caller-owned scratch: the returned Bits alias
-// sc.hard and are only valid until the scratch is reused or released.
-// SectorCodec.DecodeSector uses this to run every block of a sector
-// through one scratch without per-block allocation.
+// decodeBP is the fast path: serial-schedule ("layered") normalized
+// min-sum on float32 state. Checks are processed in fixed ascending
+// order; each check reads the current posteriors, lazily reconstructs
+// its inbound messages as total[v]-c2v[e], and writes the refreshed
+// posterior back immediately, so later checks in the same iteration see
+// it — which is why it converges in roughly half the iterations of the
+// flooded reference. The only persistent edge state is c2v (float32,
+// half the memory traffic of the old float64 pair), walked strictly
+// sequentially in edge order. The syndrome is maintained incrementally
+// off hard-decision deltas: a posterior sign change toggles the
+// variable's ColWeight checks and an unsat counter, so termination
+// needs no full syndrome sweep. The serial schedule and fixed check
+// order keep the result a pure function of the input LLRs —
+// worker-count independent, per the DESIGN.md §8 determinism contract.
+//
+// The returned Bits alias sc.hard and are only valid until the scratch
+// is reused or released.
 func (c *Code) decodeBP(llr []float64, maxIter int, sc *bpScratch) DecodeResult {
 	if len(llr) != c.N {
 		panic("ldpc: LLR length mismatch")
@@ -39,7 +56,96 @@ func (c *Code) decodeBP(llr []float64, maxIter int, sc *bpScratch) DecodeResult 
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	v2c, c2v, hard := sc.v2c, sc.c2v, sc.hard
+	total, hard, synd, m := sc.total, sc.hard, sc.synd, sc.mbuf
+	for v := 0; v < c.N; v++ {
+		x := float32(llr[v])
+		total[v] = x
+		if x < 0 {
+			hard[v] = 1
+		} else {
+			hard[v] = 0
+		}
+	}
+	c2v := sc.c2v[:c.edges]
+	for i := range c2v {
+		c2v[i] = 0
+	}
+	unsat := c.syndromeHard(hard, synd)
+	if unsat == 0 {
+		return DecodeResult{Bits: hard, OK: true, Iterations: 0}
+	}
+	inf := float32(math.Inf(1))
+	for iter := 1; iter <= maxIter; iter++ {
+		for ci, vars := range c.checkVars {
+			off := int(c.edgeOff[ci])
+			min1, min2 := inf, inf
+			min1Idx := -1
+			neg := false
+			for e, v := range vars {
+				x := total[v] - c2v[off+e]
+				m[e] = x
+				a := x
+				if a < 0 {
+					a = -a
+					neg = !neg
+				}
+				if a < min1 {
+					min2, min1, min1Idx = min1, a, e
+				} else if a < min2 {
+					min2 = a
+				}
+			}
+			for e, v := range vars {
+				mag := min1
+				if e == min1Idx {
+					mag = min2
+				}
+				nm := minSumScale32 * mag
+				if neg != (m[e] < 0) {
+					nm = -nm
+				}
+				t := m[e] + nm
+				c2v[off+e] = nm
+				total[v] = t
+				var nh uint8
+				if t < 0 {
+					nh = 1
+				}
+				if nh != hard[v] {
+					hard[v] = nh
+					for _, cj := range c.varChecks[v] {
+						if synd[cj] == 0 {
+							synd[cj] = 1
+							unsat++
+						} else {
+							synd[cj] = 0
+							unsat--
+						}
+					}
+				}
+			}
+		}
+		if unsat == 0 {
+			return DecodeResult{Bits: hard, OK: true, Iterations: iter}
+		}
+	}
+	return DecodeResult{Bits: hard, OK: false, Iterations: maxIter}
+}
+
+// DecodeBPReference is the original flooded float64 min-sum decoder,
+// retained as the ground truth the fast path is property-tested
+// against. It allocates its own working memory and performs a full
+// syndrome sweep per iteration; production paths use DecodeBP.
+func (c *Code) DecodeBPReference(llr []float64, maxIter int) DecodeResult {
+	if len(llr) != c.N {
+		panic("ldpc: LLR length mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	v2c := make([]float64, c.edges)
+	c2v := make([]float64, c.edges)
+	hard := make([]uint8, c.N)
 	for ci, vars := range c.checkVars {
 		off := c.edgeOff[ci]
 		for e, v := range vars {
@@ -58,6 +164,10 @@ func (c *Code) decodeBP(llr []float64, maxIter int, sc *bpScratch) DecodeResult 
 				hard[v] = 0
 			}
 		}
+	}
+	decide()
+	if c.SyndromeOK(hard) {
+		return DecodeResult{Bits: hard, OK: true, Iterations: 0}
 	}
 
 	for iter := 1; iter <= maxIter; iter++ {
@@ -117,7 +227,9 @@ func (c *Code) decodeBP(llr []float64, maxIter int, sc *bpScratch) DecodeResult 
 // DecodeBitFlip runs Gallager-B style hard-decision bit flipping: each
 // iteration flips the bits involved in the most unsatisfied checks. It
 // is far cheaper than BP and corrects light error patterns; the decode
-// stack uses it as a first pass before escalating to BP.
+// stack uses it as a first pass before escalating to BP. The codeword
+// is kept packed in machine words throughout — only the returned Bits
+// are allocated.
 func (c *Code) DecodeBitFlip(received []uint8, maxIter int) DecodeResult {
 	if len(received) != c.N {
 		panic("ldpc: codeword length mismatch")
@@ -125,49 +237,97 @@ func (c *Code) DecodeBitFlip(received []uint8, maxIter int) DecodeResult {
 	if maxIter <= 0 {
 		maxIter = 20
 	}
-	cw := make([]uint8, c.N)
-	copy(cw, received)
-	unsat := make([]int, c.N)
-	for iter := 1; iter <= maxIter; iter++ {
-		// Count unsatisfied checks per variable.
-		for i := range unsat {
-			unsat[i] = 0
-		}
-		bad := 0
-		for _, vars := range c.checkVars {
-			var s uint8
-			for _, v := range vars {
-				s ^= cw[v]
+	sc := c.getScratch()
+	PackBitsInto(received, sc.cwWords)
+	unsat := c.syndromePacked(sc.cwWords, sc.synd)
+	iters, ok := 0, unsat == 0
+	if !ok {
+		iters, ok = c.bitFlip(sc, maxIter, unsat)
+	}
+	bits := make([]uint8, c.N)
+	UnpackBitsInto(sc.cwWords, bits)
+	c.putScratch(sc)
+	return DecodeResult{Bits: bits, OK: ok, Iterations: iters}
+}
+
+// bitFlip runs Gallager-B on the packed codeword sc.cwWords in place.
+// sc.synd and unsat must describe cwWords on entry; both track every
+// flip incrementally (a flip toggles the variable's ColWeight checks),
+// so no iteration re-derives the syndrome. The set of flipped
+// variables per round — everything touching the maximum number of
+// unsatisfied checks — is order-independent, keeping the decoder a pure
+// function of its input. sc.cnt is zeroed on exit via the touched list.
+func (c *Code) bitFlip(sc *bpScratch, maxIter, unsat int) (int, bool) {
+	cw, synd, cnt := sc.cwWords, sc.synd, sc.cnt
+	touched := sc.touched[:0]
+	iters := 0
+	for unsat > 0 && iters < maxIter {
+		iters++
+		touched = touched[:0]
+		maxCnt := uint8(0)
+		for ci, s := range synd {
+			if s == 0 {
+				continue
 			}
-			if s != 0 {
-				bad++
-				for _, v := range vars {
-					unsat[v]++
+			for _, v := range c.checkVars[ci] {
+				if cnt[v] == 0 {
+					touched = append(touched, v)
+				}
+				cnt[v]++
+				if cnt[v] > maxCnt {
+					maxCnt = cnt[v]
 				}
 			}
 		}
-		if bad == 0 {
-			return DecodeResult{Bits: cw, OK: true, Iterations: iter}
-		}
-		// Flip all variables with the maximum number of unsatisfied
-		// checks.
-		max := 0
-		for _, u := range unsat {
-			if u > max {
-				max = u
+		for _, v := range touched {
+			if cnt[v] == maxCnt {
+				cw[v>>6] ^= 1 << (uint(v) & 63)
+				for _, cj := range c.varChecks[v] {
+					if synd[cj] == 0 {
+						synd[cj] = 1
+						unsat++
+					} else {
+						synd[cj] = 0
+						unsat--
+					}
+				}
 			}
-		}
-		if max == 0 {
-			break
-		}
-		for v, u := range unsat {
-			if u == max {
-				cw[v] ^= 1
-			}
+			cnt[v] = 0
 		}
 	}
-	ok := c.SyndromeOK(cw)
-	return DecodeResult{Bits: cw, OK: ok, Iterations: maxIter}
+	sc.touched = touched[:0]
+	return iters, unsat == 0
+}
+
+// hardPackLLR packs the sign bits of llr into cw: bit v set means the
+// hard decision for variable v is 1. Branchless — the sign bit is
+// lifted straight out of the float representation, since a compare on
+// a ~50/50 random sign stream mispredicts half the time.
+func (c *Code) hardPackLLR(llr []float64, cw []uint64) {
+	llr = llr[:c.N]
+	w := 0
+	for ; (w+1)*64 <= len(llr); w++ {
+		chunk := llr[w*64 : w*64+64]
+		var word uint64
+		for j, x := range chunk {
+			word |= math.Float64bits(x) >> 63 << uint(j)
+		}
+		cw[w] = word
+	}
+	if w*64 < len(llr) {
+		var word uint64
+		for j, x := range llr[w*64:] {
+			word |= math.Float64bits(x) >> 63 << uint(j)
+		}
+		cw[w] = word
+	}
+}
+
+// extractWordsInto copies the K message bits out of a packed codeword.
+func (c *Code) extractWordsInto(cw []uint64, msg []uint8) {
+	for i, pos := range c.dataPos {
+		msg[i] = uint8(cw[pos>>6] >> (uint(pos) & 63) & 1)
+	}
 }
 
 // HardLLR converts hard bits into saturated LLRs for feeding a hard

@@ -104,8 +104,8 @@ func TestBPDecodesCleanChannel(t *testing.T) {
 	msg := randomBits(r, c.K)
 	cw := c.Encode(msg)
 	res := c.DecodeBP(HardLLR(cw, 8), 50)
-	if !res.OK || res.Iterations != 1 {
-		t.Fatalf("clean decode: ok=%v iters=%d", res.OK, res.Iterations)
+	if !res.OK || res.Iterations != 0 {
+		t.Fatalf("clean decode: ok=%v iters=%d (clean input should exit before iterating)", res.OK, res.Iterations)
 	}
 	if !bitsEqual(c.Extract(res.Bits), msg) {
 		t.Fatal("clean decode corrupted the message")

@@ -16,22 +16,50 @@ import (
 // A SectorCodec is safe for concurrent use: the codec engine drives one
 // shared instance from every worker, with per-call working memory drawn
 // from an internal pool so steady-state encode/decode does not allocate.
+// Callers looping over many sectors (a track burn, a scrub sweep) can
+// hold a Scratch across the loop via AcquireScratch and the *With
+// variants, amortizing even the pool round-trip.
 type SectorCodec struct {
 	Code         *Code
 	PayloadBytes int // user bytes per sector
 	blocks       int // LDPC codewords per sector
 
-	scratch sync.Pool // *sectorScratch
+	scratch sync.Pool // *Scratch
 }
 
 const crcBytes = 4
 
-// sectorScratch is the per-call working set of one sector encode or
-// decode, recycled through SectorCodec.scratch.
-type sectorScratch struct {
+// flipBudget caps the Gallager-B first pass of sector decode. Light
+// error patterns converge in one or two rounds; anything still unsett-
+// led after this many is cheaper to hand to BP than to keep flipping.
+const flipBudget = 8
+
+// Per-block decode path taken, recorded so a CRC failure can re-run
+// exactly the blocks where the cheap pass may have settled on a wrong
+// codeword.
+const (
+	blockClean uint8 = iota // hard decision was already a codeword
+	blockFlip               // bit-flipping converged
+	blockBP                 // full BP ran
+)
+
+// Scratch is the working set of one sector encode or decode. Obtain one
+// with AcquireScratch (or implicitly through the non-With methods); a
+// Scratch is not safe for concurrent use but may be reused serially for
+// any number of calls on the codec it came from.
+type Scratch struct {
 	framed  []byte  // PayloadBytes + crcBytes
-	msgBits []uint8 // blocks * K message bits
-	bp      *bpScratch
+	msgBits []uint8 // blocks * K message bits (decode staging)
+	// msgWords is the packed framed payload: blocks*K bits plus one
+	// padding word for unaligned block extraction. The tail past the
+	// framed bytes is zeroed once here at allocation and never written
+	// again — packBytesInto stops at the framed length — so encode does
+	// not re-zero padding per sector.
+	msgWords   []uint64
+	blockWords []uint64 // one packed K-bit block, when K%64 != 0
+	blkOK      []uint8  // per-block decode success
+	blkMode    []uint8  // per-block path taken (blockClean/Flip/BP)
+	bp         *bpScratch
 }
 
 // NewSectorCodec wraps code to carry payloadBytes of user data per
@@ -45,18 +73,26 @@ func NewSectorCodec(code *Code, payloadBytes int) (*SectorCodec, error) {
 	return &SectorCodec{Code: code, PayloadBytes: payloadBytes, blocks: blocks}, nil
 }
 
-func (sc *SectorCodec) getScratch() *sectorScratch {
-	if ss, ok := sc.scratch.Get().(*sectorScratch); ok {
+// AcquireScratch returns a pooled Scratch for use with the *With
+// methods. Release it with ReleaseScratch when done.
+func (sc *SectorCodec) AcquireScratch() *Scratch {
+	if ss, ok := sc.scratch.Get().(*Scratch); ok {
 		return ss
 	}
-	return &sectorScratch{
-		framed:  make([]byte, sc.PayloadBytes+crcBytes),
-		msgBits: make([]uint8, sc.blocks*sc.Code.K),
-		bp:      sc.Code.getScratch(),
+	totalBits := sc.blocks * sc.Code.K
+	return &Scratch{
+		framed:     make([]byte, sc.PayloadBytes+crcBytes),
+		msgBits:    make([]uint8, totalBits),
+		msgWords:   make([]uint64, (totalBits+63)/64+1),
+		blockWords: make([]uint64, sc.Code.kWords+1),
+		blkOK:      make([]uint8, sc.blocks),
+		blkMode:    make([]uint8, sc.blocks),
+		bp:         sc.Code.getScratch(),
 	}
 }
 
-func (sc *SectorCodec) putScratch(ss *sectorScratch) { sc.scratch.Put(ss) }
+// ReleaseScratch returns a Scratch to the pool.
+func (sc *SectorCodec) ReleaseScratch(ss *Scratch) { sc.scratch.Put(ss) }
 
 // Blocks reports the number of LDPC codewords per sector.
 func (sc *SectorCodec) Blocks() int { return sc.blocks }
@@ -79,29 +115,49 @@ func (sc *SectorCodec) EncodeSector(payload []byte) []uint8 {
 // EncodeSectorInto encodes payload into dst, which must have length
 // EncodedBits. It returns dst and does not allocate in steady state.
 func (sc *SectorCodec) EncodeSectorInto(payload []byte, dst []uint8) []uint8 {
+	ss := sc.AcquireScratch()
+	sc.EncodeSectorWith(ss, payload, dst)
+	sc.ReleaseScratch(ss)
+	return dst
+}
+
+// EncodeSectorWith is EncodeSectorInto on caller-held scratch: the
+// framed payload is packed into machine words once and every LDPC block
+// encodes straight from the word layout.
+func (sc *SectorCodec) EncodeSectorWith(ss *Scratch, payload []byte, dst []uint8) []uint8 {
 	if len(payload) != sc.PayloadBytes {
 		panic(fmt.Sprintf("ldpc: payload %d bytes, want %d", len(payload), sc.PayloadBytes))
 	}
 	if len(dst) != sc.EncodedBits() {
 		panic(fmt.Sprintf("ldpc: coded buffer %d bits, want %d", len(dst), sc.EncodedBits()))
 	}
-	ss := sc.getScratch()
 	copy(ss.framed, payload)
 	binary.LittleEndian.PutUint32(ss.framed[sc.PayloadBytes:], crc32.ChecksumIEEE(payload))
-	// Unpack into message bits, zero-padding to a whole number of
-	// messages (the scratch tail must be re-zeroed: pooled buffers keep
-	// the previous sector's padding region intact, but the region before
-	// it is fully overwritten by BytesToBitsInto).
-	framedBits := len(ss.framed) * 8
-	BytesToBitsInto(ss.framed, ss.msgBits)
-	for i := framedBits; i < len(ss.msgBits); i++ {
-		ss.msgBits[i] = 0
-	}
+	packBytesInto(ss.framed, ss.msgWords)
+	code := sc.Code
 	for b := 0; b < sc.blocks; b++ {
-		sc.Code.EncodeInto(ss.msgBits[b*sc.Code.K:(b+1)*sc.Code.K], dst[b*sc.Code.N:(b+1)*sc.Code.N])
+		words := ss.msgWords[b*code.K>>6:]
+		if code.K&63 != 0 {
+			extractBits(ss.msgWords, b*code.K, code.K, ss.blockWords)
+			words = ss.blockWords
+		}
+		code.encodeFromWords(words, dst[b*code.N:(b+1)*code.N])
 	}
-	sc.putScratch(ss)
 	return dst
+}
+
+// EncodeSectors encodes payloads[i] into dsts[i] (same lengths as the
+// single-sector calls) over one shared scratch, amortizing acquisition
+// across a whole track's worth of sectors.
+func (sc *SectorCodec) EncodeSectors(payloads [][]byte, dsts [][]uint8) {
+	if len(payloads) != len(dsts) {
+		panic("ldpc: payload/destination count mismatch")
+	}
+	ss := sc.AcquireScratch()
+	for i, p := range payloads {
+		sc.EncodeSectorWith(ss, p, dsts[i])
+	}
+	sc.ReleaseScratch(ss)
 }
 
 // SectorDecode is the outcome of decoding one sector.
@@ -114,50 +170,150 @@ type SectorDecode struct {
 	// whether a file is durably stored: low margin on a fresh platter
 	// predicts trouble as read noise grows over time.
 	Margin     float64
-	Iterations int // total BP iterations across blocks
+	Iterations int // total decoder iterations across blocks
 }
 
 // DecodeSector decodes a sector from per-bit channel LLRs (length
-// EncodedBits). It runs BP on each block and then verifies the CRC.
-// Only the returned Payload is freshly allocated; all decoder working
-// memory is pooled.
+// EncodedBits). Only the returned Payload is freshly allocated; all
+// decoder working memory is pooled.
 func (sc *SectorCodec) DecodeSector(llr []float64, maxIter int) SectorDecode {
+	return sc.DecodeSectorInto(llr, maxIter, nil)
+}
+
+// DecodeSectorInto is DecodeSector writing the payload into the
+// caller's buffer (length ≥ PayloadBytes); pass nil to allocate. With a
+// caller buffer, steady-state decode performs zero allocations.
+func (sc *SectorCodec) DecodeSectorInto(llr []float64, maxIter int, payload []byte) SectorDecode {
+	ss := sc.AcquireScratch()
+	res := sc.DecodeSectorWith(ss, llr, maxIter, payload)
+	sc.ReleaseScratch(ss)
+	return res
+}
+
+// DecodeSectorWith is DecodeSectorInto on caller-held scratch.
+//
+// Each block takes the cheapest path that works: hard-decide the LLR
+// signs into packed words and check the syndrome (a clean read costs
+// one popcount-sized pass, Iterations=0); run a few rounds of packed
+// bit-flipping for light noise; fall back to full BP. Bit-flipping can
+// in principle settle on a wrong codeword that BP would have decoded,
+// so if the sector CRC then fails, every bit-flipped block is re-run
+// through BP and the CRC re-checked — the fast path never loses a
+// sector the pure-BP path would have recovered.
+func (sc *SectorCodec) DecodeSectorWith(ss *Scratch, llr []float64, maxIter int, payload []byte) SectorDecode {
 	if len(llr) != sc.EncodedBits() {
 		panic(fmt.Sprintf("ldpc: llr length %d, want %d", len(llr), sc.EncodedBits()))
 	}
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	ss := sc.getScratch()
-	worst := 0
-	total := 0
+	code := sc.Code
+	worst, total := 0, 0
+	for b := 0; b < sc.blocks; b++ {
+		iters, blkOK, mode := code.decodeBlockInto(llr[b*code.N:(b+1)*code.N], maxIter, ss.bp, ss.msgBits[b*code.K:(b+1)*code.K])
+		ss.blkMode[b] = mode
+		if blkOK {
+			ss.blkOK[b] = 1
+		} else {
+			ss.blkOK[b] = 0
+		}
+		total += iters
+		if iters > worst {
+			worst = iters
+		}
+	}
+	ok := sc.frameOK(ss)
+	if !ok {
+		redid := false
+		for b := 0; b < sc.blocks; b++ {
+			if ss.blkMode[b] != blockFlip {
+				continue
+			}
+			res := code.decodeBP(llr[b*code.N:(b+1)*code.N], maxIter, ss.bp)
+			redid = true
+			ss.blkMode[b] = blockBP
+			if res.OK {
+				ss.blkOK[b] = 1
+			} else {
+				ss.blkOK[b] = 0
+			}
+			total += res.Iterations
+			if res.Iterations > worst {
+				worst = res.Iterations
+			}
+			code.ExtractInto(res.Bits, ss.msgBits[b*code.K:(b+1)*code.K])
+		}
+		if redid {
+			ok = sc.frameOK(ss)
+		}
+	}
 	failed := -1
 	for b := 0; b < sc.blocks; b++ {
-		res := sc.Code.decodeBP(llr[b*sc.Code.N:(b+1)*sc.Code.N], maxIter, ss.bp)
-		total += res.Iterations
-		if !res.OK && failed < 0 {
+		if ss.blkOK[b] == 0 {
 			failed = b
+			break
 		}
-		if res.Iterations > worst {
-			worst = res.Iterations
-		}
-		sc.Code.ExtractInto(res.Bits, ss.msgBits[b*sc.Code.K:(b+1)*sc.Code.K])
 	}
-	framedBits := ss.msgBits[:(sc.PayloadBytes+crcBytes)*8]
-	BitsToBytesInto(framedBits, ss.framed)
-	payload := append([]byte(nil), ss.framed[:sc.PayloadBytes]...)
-	wantCRC := binary.LittleEndian.Uint32(ss.framed[sc.PayloadBytes:])
-	ok := failed < 0 && crc32.ChecksumIEEE(payload) == wantCRC
+	ok = ok && failed < 0
+	if payload == nil {
+		payload = make([]byte, sc.PayloadBytes)
+	}
+	copy(payload[:sc.PayloadBytes], ss.framed)
 	margin := 1 - float64(worst)/float64(maxIter)
 	if !ok {
 		margin = 0
 	}
-	sc.putScratch(ss)
 	return SectorDecode{
-		Payload:     payload,
+		Payload:     payload[:sc.PayloadBytes],
 		OK:          ok,
 		FailedBlock: failed,
 		Margin:      margin,
 		Iterations:  total,
 	}
+}
+
+// frameOK packs the decoded message bits back into framed bytes and
+// verifies the sector CRC.
+func (sc *SectorCodec) frameOK(ss *Scratch) bool {
+	framedBits := ss.msgBits[:(sc.PayloadBytes+crcBytes)*8]
+	BitsToBytesInto(framedBits, ss.framed)
+	want := binary.LittleEndian.Uint32(ss.framed[sc.PayloadBytes:])
+	return crc32.ChecksumIEEE(ss.framed[:sc.PayloadBytes]) == want
+}
+
+// DecodeSectors decodes llrs[i] into payloads[i] (each ≥ PayloadBytes,
+// or nil to allocate) over one shared scratch, writing results into
+// out[i]. out must be as long as llrs.
+func (sc *SectorCodec) DecodeSectors(llrs [][]float64, maxIter int, payloads [][]byte, out []SectorDecode) {
+	if len(out) < len(llrs) {
+		panic("ldpc: result buffer shorter than input")
+	}
+	ss := sc.AcquireScratch()
+	for i, llr := range llrs {
+		var buf []byte
+		if payloads != nil {
+			buf = payloads[i]
+		}
+		out[i] = sc.DecodeSectorWith(ss, llr, maxIter, buf)
+	}
+	sc.ReleaseScratch(ss)
+}
+
+// decodeBlockInto decodes one LDPC block by the cheapest sufficient
+// means, writes the K extracted message bits into msg, and reports the
+// iteration count, success, and which path it took.
+func (c *Code) decodeBlockInto(llr []float64, maxIter int, sc *bpScratch, msg []uint8) (int, bool, uint8) {
+	c.hardPackLLR(llr, sc.cwWords)
+	unsat := c.syndromePacked(sc.cwWords, sc.synd)
+	if unsat == 0 {
+		c.extractWordsInto(sc.cwWords, msg)
+		return 0, true, blockClean
+	}
+	if iters, ok := c.bitFlip(sc, flipBudget, unsat); ok {
+		c.extractWordsInto(sc.cwWords, msg)
+		return iters, true, blockFlip
+	}
+	res := c.decodeBP(llr, maxIter, sc)
+	c.ExtractInto(res.Bits, msg)
+	return res.Iterations, res.OK, blockBP
 }

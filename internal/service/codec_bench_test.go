@@ -8,13 +8,19 @@ import (
 	"silica/internal/media"
 )
 
-// benchWorkerCounts compares the serial baseline against the full
-// engine, the ISSUE's headline measurement (>=4x at 8 cores).
+// benchWorkerCounts compares the serial baseline against a mid-size
+// pool and the full engine, so BENCH_codec.json tracks the scaling
+// curve and not just its endpoints. Deduplicated and sorted, so a
+// 4-core machine reports {1, 4} and a single core just {1}.
 func benchWorkerCounts() []int {
+	counts := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
-		return []int{1, n}
+		if n > 4 {
+			counts = append(counts, 4)
+		}
+		counts = append(counts, n)
 	}
-	return []int{1}
+	return counts
 }
 
 // reportPerCore attaches the scaling metrics that BENCH_codec.json

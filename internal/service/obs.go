@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sync"
 	"time"
 
 	"silica/internal/obs"
@@ -25,6 +26,15 @@ type serviceMetrics struct {
 	recSector    *obs.Counter
 	recTrack     *obs.Counter
 	recSet       *obs.Counter
+
+	// Codec hot-path telemetry: per-sector LDPC encode/decode wall time
+	// (batched encodes record the per-sector mean) and sector totals.
+	// The matching sectors-per-second gauges are computed at scrape time
+	// from counter deltas.
+	codecEncode     *obs.Histogram
+	codecDecode     *obs.Histogram
+	codecEncSectors *obs.Counter
+	codecDecSectors *obs.Counter
 }
 
 // newServiceMetrics registers the service families in reg and hooks
@@ -46,7 +56,38 @@ func newServiceMetrics(reg *obs.Registry, usage func() staging.Usage) serviceMet
 		recSector:    reg.Counter("silica_read_recoveries_total", "Read-path recoveries, by coding tier.", obs.L("tier", "sector")),
 		recTrack:     reg.Counter("silica_read_recoveries_total", "Read-path recoveries, by coding tier.", obs.L("tier", "track")),
 		recSet:       reg.Counter("silica_read_recoveries_total", "Read-path recoveries, by coding tier.", obs.L("tier", "set")),
+
+		codecEncode: reg.Histogram("silica_codec_encode_seconds",
+			"Per-sector LDPC encode wall time (batched encodes record the per-sector mean).",
+			obs.DurationBuckets()),
+		codecDecode: reg.Histogram("silica_codec_decode_seconds",
+			"Per-sector LDPC decode wall time.", obs.DurationBuckets()),
+		codecEncSectors: reg.Counter("silica_codec_sectors_total",
+			"Sectors pushed through the LDPC codec, by operation.", obs.L("op", "encode")),
+		codecDecSectors: reg.Counter("silica_codec_sectors_total",
+			"Sectors pushed through the LDPC codec, by operation.", obs.L("op", "decode")),
 	}
+	encRate := reg.Gauge("silica_codec_sectors_per_second",
+		"Codec sector throughput over the interval since the previous scrape, by operation.",
+		obs.L("op", "encode"))
+	decRate := reg.Gauge("silica_codec_sectors_per_second",
+		"Codec sector throughput over the interval since the previous scrape, by operation.",
+		obs.L("op", "decode"))
+	var rateMu sync.Mutex
+	lastScrape := time.Now()
+	var lastEnc, lastDec int64
+	reg.OnScrape(func() {
+		rateMu.Lock()
+		defer rateMu.Unlock()
+		now := time.Now()
+		dt := now.Sub(lastScrape).Seconds()
+		enc, dec := m.codecEncSectors.Value(), m.codecDecSectors.Value()
+		if dt > 0 {
+			encRate.Set(float64(enc-lastEnc) / dt)
+			decRate.Set(float64(dec-lastDec) / dt)
+		}
+		lastScrape, lastEnc, lastDec = now, enc, dec
+	})
 	used := reg.Gauge("silica_staging_used_bytes", "Bytes admitted to the staging tier.")
 	reserved := reg.Gauge("silica_staging_reserved_bytes", "Bytes reserved but not yet admitted.")
 	capacity := reg.Gauge("silica_staging_capacity_bytes", "Staging tier capacity (0 = unbounded).")
@@ -68,4 +109,15 @@ func newServiceMetrics(reg *obs.Registry, usage func() staging.Usage) serviceMet
 func phaseTimer(h *obs.Histogram) func() {
 	t0 := time.Now()
 	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// observeCodec records n sectors' worth of codec work that took dt in
+// total: the sector counter advances by n and the histogram records the
+// per-sector mean, so batched track encodes stay one observation.
+func (m *serviceMetrics) observeCodec(h *obs.Histogram, c *obs.Counter, n int, dt time.Duration) {
+	if n <= 0 {
+		return
+	}
+	c.Add(int64(n))
+	h.Observe(dt.Seconds() / float64(n))
 }

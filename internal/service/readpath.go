@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"silica/internal/backend"
 	"silica/internal/faults"
@@ -185,6 +186,15 @@ func (s *Service) readInfoSector(ctx context.Context, id media.PlatterID, infoSe
 func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
 	cs := s.acquireScratch()
 	defer s.releaseScratch(cs)
+	return s.decodeSectorWith(cs, pi, physTrack, sPos, rng)
+}
+
+// decodeSectorWith is decodeSector on caller-owned scratch, the form
+// chunked loops (rebuild's member-decode grid) use to amortize scratch
+// acquisition. The decode lands in the scratch's payload buffer; the
+// descramble below makes the caller's copy, so the returned payload is
+// the only allocation on the hot path.
+func (s *Service) decodeSectorWith(cs *codecScratch, pi *platterInfo, physTrack, sPos int, rng *sim.RNG) ([]byte, bool) {
 	symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: physTrack, Sector: sPos}, cs.symbols)
 	if !ok {
 		return nil, false
@@ -192,12 +202,12 @@ func (s *Service) decodeSector(pi *platterInfo, physTrack, sPos int, rng *sim.RN
 	if err := s.faults.CheckData(faults.OpMediaRead, int64(pi.platter.ID), physTrack, sPos, symbols); err != nil {
 		return nil, false
 	}
-	res := s.pipe.ReadSectorWith(cs.sector, symbols, rng)
+	t0 := time.Now()
+	res := s.pipe.ReadSectorWithBuf(cs.sector, symbols, rng, cs.payload)
+	s.om.observeCodec(s.om.codecDecode, s.om.codecDecSectors, 1, time.Since(t0))
 	if !res.OK {
 		return nil, false
 	}
-	// res.Payload is freshly allocated by the decode, so it survives the
-	// scratch release; scramble allocates the descrambled copy.
 	return scramble(res.Payload, pi.platter.ID, physTrack, sPos), true
 }
 

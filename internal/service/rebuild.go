@@ -100,24 +100,33 @@ func (s *Service) RebuildPlatter(old media.PlatterID) (media.PlatterID, error) {
 		}(members[pos], mTracks)
 	}
 	chargeWG.Wait()
+	// Chunk the grid by track so each worker-visit decodes a contiguous
+	// run of one member's sectors on a single scratch; every cell still
+	// forks its noise stream from its (member, sector) grid position, so
+	// the reconstruction is identical at any worker count and chunk size.
 	decRNG := rng.Fork("member-decode")
-	_ = s.eng.ForEach(len(active)*used, func(idx int) error {
-		pos, sec := active[idx/used], idx%used
-		mpi := infos[pos]
-		iPerTrack := geom.InfoSectorsPerTrack
-		musedTracks := (mpi.usedInfoSectors + iPerTrack - 1) / iPerTrack
-		pls := memberPayloads[pos]
-		if sec/iPerTrack >= musedTracks {
-			pls[sec] = zero
-			return nil
-		}
-		phys := geom.InfoTrackPhysical(sec / iPerTrack)
-		sPos := sec % iPerTrack
-		r := decRNG.ForkAt(uint64(pos), uint64(sec))
-		if payload, ok := s.decodeSector(mpi, phys, sPos, r); ok {
-			pls[sec] = payload
-		} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, r); ok {
-			pls[sec] = payload
+	chunk := geom.InfoSectorsPerTrack
+	_ = s.eng.ForEachChunk(len(active)*used, chunk, func(lo, hi int) error {
+		cs := s.acquireScratch()
+		defer s.releaseScratch(cs)
+		for idx := lo; idx < hi; idx++ {
+			pos, sec := active[idx/used], idx%used
+			mpi := infos[pos]
+			iPerTrack := geom.InfoSectorsPerTrack
+			musedTracks := (mpi.usedInfoSectors + iPerTrack - 1) / iPerTrack
+			pls := memberPayloads[pos]
+			if sec/iPerTrack >= musedTracks {
+				pls[sec] = zero
+				continue
+			}
+			phys := geom.InfoTrackPhysical(sec / iPerTrack)
+			sPos := sec % iPerTrack
+			r := decRNG.ForkAt(uint64(pos), uint64(sec))
+			if payload, ok := s.decodeSectorWith(cs, mpi, phys, sPos, r); ok {
+				pls[sec] = payload
+			} else if payload, ok := s.repairWithinTrack(mpi, phys, sPos, r); ok {
+				pls[sec] = payload
+			}
 		}
 		return nil
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"silica/internal/backend"
 	"silica/internal/media"
@@ -71,10 +72,13 @@ func (s *Service) ScrubPlatter(id media.PlatterID, maxTracks int) (repair.ScrubR
 		Bytes:      int64(maxTracks) * geom.TrackRawBytes(),
 	})
 
-	// Sample every sector of the window in parallel; each sector forks
-	// its noise stream from (physical track, sector), so the report is
-	// identical at any worker count. The per-track tallies are reduced
-	// serially below, in window order.
+	// Sample the window in parallel, one track-sized chunk per
+	// worker-visit so the codec scratch is acquired once per track; each
+	// sector forks its noise stream from (physical track, sector), so
+	// the report is identical at any worker count. The scrubber only
+	// needs OK + margin, so the decode lands in the scratch's payload
+	// buffer and the steady-state loop allocates nothing. The per-track
+	// tallies are reduced serially below, in window order.
 	spt := geom.SectorsPerTrack()
 	type scrubSector struct {
 		sampled bool // sector was written and read back
@@ -82,23 +86,27 @@ func (s *Service) ScrubPlatter(id media.PlatterID, maxTracks int) (repair.ScrubR
 		margin  float64
 	}
 	results := make([]scrubSector, maxTracks*spt)
-	_ = s.eng.ForEach(len(results), func(idx int) error {
-		t, sPos := idx/spt, idx%spt
-		phys := geom.InfoTrackPhysical((start + t) % usedTracks)
+	_ = s.eng.ForEachChunk(len(results), spt, func(lo, hi int) error {
 		cs := s.acquireScratch()
 		defer s.releaseScratch(cs)
-		symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
-		if !ok {
-			results[idx].failed = true
-			return nil
+		for idx := lo; idx < hi; idx++ {
+			t, sPos := idx/spt, idx%spt
+			phys := geom.InfoTrackPhysical((start + t) % usedTracks)
+			symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
+			if !ok {
+				results[idx].failed = true
+				continue
+			}
+			results[idx].sampled = true
+			t0 := time.Now()
+			res := s.pipe.ReadSectorWithBuf(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)), cs.payload)
+			s.om.observeCodec(s.om.codecDecode, s.om.codecDecSectors, 1, time.Since(t0))
+			if !res.OK {
+				results[idx].failed = true
+				continue
+			}
+			results[idx].margin = res.Margin
 		}
-		results[idx].sampled = true
-		res := s.pipe.ReadSectorWith(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)))
-		if !res.OK {
-			results[idx].failed = true
-			return nil
-		}
-		results[idx].margin = res.Margin
 		return nil
 	})
 	var marginSum float64

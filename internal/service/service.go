@@ -302,24 +302,39 @@ func (s *Service) chargeMech(ctx context.Context, op backend.Op) error {
 }
 
 // codecScratch is one worker's reusable buffers for the sector hot
-// paths: the voxel/LDPC pipeline scratch, a scramble output buffer, and
-// a read-back symbol buffer. Pooled on the service so steady-state
-// encode, verify, and scrub allocate nothing per sector.
+// paths: the voxel/LDPC pipeline scratch, a scramble output buffer, a
+// read-back symbol buffer, a decode payload buffer for paths that never
+// retain the plaintext (verify, scrub, descramble-and-copy reads), and
+// the per-track batch buffers of the burn path. Pooled on the service
+// so steady-state encode, verify, and scrub allocate nothing per
+// sector.
 type codecScratch struct {
 	sector   *voxel.SectorScratch
 	scramble []byte
 	symbols  []uint8
+	payload  []byte
+	trackScr [][]byte  // one scrambled payload per sector of a track
+	trackSym [][]uint8 // one modulated symbol buffer per sector of a track
 }
 
 func (s *Service) acquireScratch() *codecScratch {
 	if cs, ok := s.scratch.Get().(*codecScratch); ok {
 		return cs
 	}
-	return &codecScratch{
+	spt := s.cfg.Geom.SectorsPerTrack()
+	cs := &codecScratch{
 		sector:   s.pipe.AcquireScratch(),
 		scramble: make([]byte, s.cfg.Geom.SectorPayloadBytes),
 		symbols:  make([]uint8, s.pipe.SymbolsPerSector()),
+		payload:  make([]byte, s.cfg.Geom.SectorPayloadBytes),
+		trackScr: make([][]byte, spt),
+		trackSym: make([][]uint8, spt),
 	}
+	for i := 0; i < spt; i++ {
+		cs.trackScr[i] = make([]byte, s.cfg.Geom.SectorPayloadBytes)
+		cs.trackSym[i] = make([]uint8, s.pipe.SymbolsPerSector())
+	}
+	return cs
 }
 
 func (s *Service) releaseScratch(cs *codecScratch) { s.scratch.Put(cs) }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"silica/internal/backend"
 	"silica/internal/faults"
@@ -415,17 +416,37 @@ func (s *Service) burnPlatter(pi *platterInfo, payloads [][]byte) error {
 		if err != nil {
 			return err
 		}
+		// Batch the whole track: scramble every sector, push the batch
+		// through the word-packed encoder on one scratch, fault-check the
+		// modulated symbols in sector order, then insert them under one
+		// lock acquisition. An error-mode media.write fault now aborts
+		// before any of the track's sectors land, which is equivalent to
+		// the old per-sector interleaving: either way the platter is
+		// scrapped and its files stay staged.
 		phys := geom.InfoTrackPhysical(it)
+		n := iPerTrack + len(red)
 		for i, payload := range info {
-			if err := s.writeSectorScrambled(cs, &pmu, p, media.SectorID{Track: phys, Sector: i}, payload); err != nil {
-				return err
-			}
+			scrambleInto(cs.trackScr[i], payload, p.ID, phys, i)
 		}
 		for j, payload := range red {
-			if err := s.writeSectorScrambled(cs, &pmu, p, media.SectorID{Track: phys, Sector: iPerTrack + j}, payload); err != nil {
+			scrambleInto(cs.trackScr[iPerTrack+j], payload, p.ID, phys, iPerTrack+j)
+		}
+		t0 := time.Now()
+		s.pipe.WriteSectorsInto(cs.sector, cs.trackScr[:n], cs.trackSym[:n])
+		s.om.observeCodec(s.om.codecEncode, s.om.codecEncSectors, n, time.Since(t0))
+		for i := 0; i < n; i++ {
+			if err := s.faults.CheckData(faults.OpMediaWrite, int64(p.ID), phys, i, cs.trackSym[i]); err != nil {
 				return err
 			}
 		}
+		pmu.Lock()
+		for i := 0; i < n; i++ {
+			if err := p.WriteSector(media.SectorID{Track: phys, Sector: i}, cs.trackSym[i]); err != nil {
+				pmu.Unlock()
+				return err
+			}
+		}
+		pmu.Unlock()
 		s.addStats(func(st *Stats) {
 			st.SectorsWritten += iPerTrack + len(red)
 			st.RedundancyBytes += int64(len(red)) * int64(geom.SectorPayloadBytes)
@@ -529,9 +550,13 @@ func scrambleInto(dst, payload []byte, platter media.PlatterID, track, sector in
 // faults land between modulation and the media insert: an error-mode
 // rule fails the write (the platter is scrapped and its files stay
 // staged), a partial-mode rule corrupts the modulated symbols so the
-// damage is caught downstream by verification instead.
+// damage is caught downstream by verification instead. The burn path's
+// info tracks batch whole tracks instead; this singleton form serves
+// the scattered large-group redundancy writes.
 func (s *Service) writeSectorScrambled(cs *codecScratch, pmu *sync.Mutex, p *media.Platter, id media.SectorID, payload []byte) error {
+	t0 := time.Now()
 	symbols := s.pipe.WriteSectorWith(cs.sector, scrambleInto(cs.scramble, payload, p.ID, id.Track, id.Sector))
+	s.om.observeCodec(s.om.codecEncode, s.om.codecEncSectors, 1, time.Since(t0))
 	if err := s.faults.CheckData(faults.OpMediaWrite, int64(p.ID), id.Track, id.Sector, symbols); err != nil {
 		return err
 	}
@@ -547,9 +572,13 @@ func (s *Service) writeSectorScrambled(cs *codecScratch, pmu *sync.Mutex, p *med
 // "together with the expected read error rate over time, we can
 // determine whether to record a file as durably stored" (§5).
 //
-// Sectors are verified in parallel; each derives its noise stream from
-// rng by (track, sector) index, so the outcome is independent of
-// scheduling. Per-track failure counts are reduced serially afterwards.
+// Sectors are verified in parallel, one track-sized chunk per
+// worker-visit so the codec scratch is acquired once per track instead
+// of once per sector; each sector derives its noise stream from rng by
+// (track, sector) index, so the outcome is independent of scheduling.
+// The decode lands in the scratch's payload buffer (verification never
+// keeps the plaintext), making the steady-state loop allocation-free.
+// Per-track failure counts are reduced serially afterwards.
 func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) bool {
 	geom := s.cfg.Geom
 	spt := geom.SectorsPerTrack()
@@ -563,22 +592,26 @@ func (s *Service) verifyPlatter(pi *platterInfo, usedTracks int, rng *sim.RNG) b
 		margin       float64
 	}
 	results := make([]sectorVerify, n)
-	_ = s.eng.ForEach(n, func(idx int) error {
-		it, sPos := idx/spt, idx%spt
-		phys := geom.InfoTrackPhysical(it)
+	_ = s.eng.ForEachChunk(n, spt, func(lo, hi int) error {
 		cs := s.acquireScratch()
 		defer s.releaseScratch(cs)
-		symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
-		if !ok {
-			results[idx].failed = true
-			return nil
+		for idx := lo; idx < hi; idx++ {
+			it, sPos := idx/spt, idx%spt
+			phys := geom.InfoTrackPhysical(it)
+			symbols, ok := pi.platter.ReadSectorInto(media.SectorID{Track: phys, Sector: sPos}, cs.symbols)
+			if !ok {
+				results[idx].failed = true
+				continue
+			}
+			t0 := time.Now()
+			res := s.pipe.ReadSectorWithBuf(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)), cs.payload)
+			s.om.observeCodec(s.om.codecDecode, s.om.codecDecSectors, 1, time.Since(t0))
+			if !res.OK {
+				results[idx] = sectorVerify{failed: true, decodeFailed: true}
+				continue
+			}
+			results[idx].margin = res.Margin
 		}
-		res := s.pipe.ReadSectorWith(cs.sector, symbols, rng.ForkAt(uint64(phys), uint64(sPos)))
-		if !res.OK {
-			results[idx] = sectorVerify{failed: true, decodeFailed: true}
-			return nil
-		}
-		results[idx].margin = res.Margin
 		return nil
 	})
 	decodeFailures := 0

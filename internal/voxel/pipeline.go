@@ -31,11 +31,12 @@ type SectorPipeline struct {
 // buffers returned by WriteSectorWith are valid until the scratch's
 // next use or release.
 type SectorScratch struct {
-	bits    []uint8   // coded bits, padded to a whole voxel count
-	symbols []uint8   // modulated symbols
-	points  []Point   // received channel observations
+	bits    []uint8 // coded bits, padded to a whole voxel count
+	symbols []uint8 // modulated symbols
+	points  []Point // received channel observations
 	post    [][numSymbols]float64
-	llrs    []float64 // demapped bit LLRs
+	llrs    []float64     // demapped bit LLRs
+	codec   *ldpc.Scratch // sector codec working set, held across calls
 }
 
 // NewSectorPipeline wires a sector codec to a channel model.
@@ -71,6 +72,7 @@ func (p *SectorPipeline) AcquireScratch() *SectorScratch {
 		points:  make([]Point, symbols),
 		post:    make([][numSymbols]float64, symbols),
 		llrs:    make([]float64, symbols*BitsPerVoxel),
+		codec:   p.Codec.AcquireScratch(),
 	}
 }
 
@@ -90,9 +92,22 @@ func (p *SectorPipeline) WriteSector(payload []byte) []uint8 {
 // buffers. The returned slice aliases sc and is valid until sc's next
 // use; callers that retain symbols (e.g. platter media) must copy.
 func (p *SectorPipeline) WriteSectorWith(sc *SectorScratch, payload []byte) []uint8 {
-	p.Codec.EncodeSectorInto(payload, sc.bits[:p.Codec.EncodedBits()])
+	p.Codec.EncodeSectorWith(sc.codec, payload, sc.bits[:p.Codec.EncodedBits()])
 	ModulateInto(sc.bits, sc.symbols)
 	return sc.symbols
+}
+
+// WriteSectorsInto encodes payloads[i] into dsts[i] (each of length
+// SymbolsPerSector) on one scratch, the batched form the burn path uses
+// to amortize scratch and table walks across a whole track.
+func (p *SectorPipeline) WriteSectorsInto(sc *SectorScratch, payloads [][]byte, dsts [][]uint8) {
+	if len(payloads) != len(dsts) {
+		panic("voxel: payload/destination count mismatch")
+	}
+	for i, payload := range payloads {
+		p.Codec.EncodeSectorWith(sc.codec, payload, sc.bits[:p.Codec.EncodedBits()])
+		ModulateInto(sc.bits, dsts[i])
+	}
 }
 
 // ReadSector pushes written symbols through the read channel and
@@ -108,10 +123,18 @@ func (p *SectorPipeline) ReadSector(symbols []uint8, rng *sim.RNG) ldpc.SectorDe
 // observations, posteriors, and LLR buffers are all reused, so the only
 // steady-state allocation is the decoded payload itself.
 func (p *SectorPipeline) ReadSectorWith(sc *SectorScratch, symbols []uint8, rng *sim.RNG) ldpc.SectorDecode {
+	return p.ReadSectorWithBuf(sc, symbols, rng, nil)
+}
+
+// ReadSectorWithBuf is ReadSectorWith decoding into the caller's
+// payload buffer (length ≥ the codec's PayloadBytes); with a non-nil
+// buffer steady-state decode allocates nothing. Pass nil to allocate
+// the payload.
+func (p *SectorPipeline) ReadSectorWithBuf(sc *SectorScratch, symbols []uint8, rng *sim.RNG, payload []byte) ldpc.SectorDecode {
 	received := p.Ch.TransmitInto(p.Mod, symbols, rng, sc.points[:0])
 	post := p.Demap.PosteriorsInto(received, sc.post[:0])
 	llrs := BitLLRsInto(post, sc.llrs[:0])
-	return p.Codec.DecodeSector(llrs[:p.Codec.EncodedBits()], p.MaxIters)
+	return p.Codec.DecodeSectorWith(sc.codec, llrs[:p.Codec.EncodedBits()], p.MaxIters, payload)
 }
 
 // MeasureSectorFailureRate estimates the sector failure probability at

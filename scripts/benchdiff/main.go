@@ -1,0 +1,200 @@
+// Command benchdiff compares two benchmark captures — raw `go test
+// -json` event streams, as `make bench` writes into BENCH_codec.json —
+// and prints per-benchmark ns/op and MB/s deltas. It is the trend
+// check behind `make bench-diff`: run a fresh capture, diff it against
+// the committed baseline, and eyeball the movement before refreshing
+// the baseline.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Benchmark names are matched with the trailing -GOMAXPROCS suffix
+// stripped, so captures from different core counts line up (per-core
+// scaling is carried by the benchmarks' own MB/s/core metric, which is
+// diffed like any other unit). The exit status is always zero when both
+// files parse: benchdiff reports, it does not gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed metrics, keyed by unit ("ns/op",
+// "MB/s", "allocs/op", "workers", ...). A name that runs several times
+// in one capture (e.g. sub-benchmarks re-run under -count) keeps the
+// last result.
+type result map[string]float64
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseFile extracts benchmark result lines from a `go test -json`
+// stream, looking for lines of the form
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8.9 MB/s   0 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. The test
+// runner splits one logical result line across several Output events
+// (the name lands in its own unterminated event, the numbers in the
+// next), so events are reassembled per package and split on real
+// newlines before parsing.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	take := func(line string) {
+		if name, r, ok := parseBenchLine(line); ok {
+			out[name] = r
+		}
+	}
+	bufs := make(map[string]string) // package -> pending partial line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Text()
+		var ev struct{ Package, Output string }
+		if json.Unmarshal([]byte(raw), &ev) != nil || ev.Output == "" {
+			// Tolerate plain `go test -bench` output too, so a capture
+			// made without -json still diffs.
+			take(raw)
+			continue
+		}
+		pend := bufs[ev.Package] + ev.Output
+		for {
+			i := strings.IndexByte(pend, '\n')
+			if i < 0 {
+				break
+			}
+			take(pend[:i])
+			pend = pend[i+1:]
+		}
+		bufs[ev.Package] = pend
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, pend := range bufs {
+		take(pend)
+	}
+	return out, nil
+}
+
+func parseBenchLine(s string) (string, result, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	r := make(result)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		r[fields[i+1]] = v
+	}
+	return procSuffix.ReplaceAllString(fields[0], ""), r, true
+}
+
+// delta formats the old→new movement of one unit as
+// "old → new unit (+pct)"; the percentage is always new relative to
+// old, so for ns/op negative is faster and for MB/s positive is.
+func delta(prev, cur result, unit string) string {
+	o, okO := prev[unit]
+	n, okN := cur[unit]
+	switch {
+	case !okO && !okN:
+		return "-"
+	case !okO:
+		return fmt.Sprintf("(new) %.4g %s", n, unit)
+	case !okN:
+		return fmt.Sprintf("%.4g %s (gone)", o, unit)
+	}
+	pct := "n/a"
+	if o != 0 {
+		pct = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+	}
+	return fmt.Sprintf("%.4g → %.4g %s (%s)", o, n, unit, pct)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	old, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	names := make(map[string]bool, len(old)+len(cur))
+	for n := range old {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Printf("benchdiff %s → %s\n", os.Args[1], os.Args[2])
+	for _, name := range sorted {
+		o, okO := old[name]
+		n, okN := cur[name]
+		switch {
+		case !okO:
+			fmt.Printf("%-60s only in %s\n", name, os.Args[2])
+			continue
+		case !okN:
+			fmt.Printf("%-60s only in %s\n", name, os.Args[1])
+			continue
+		}
+		fmt.Printf("%-60s %s\n", name, delta(o, n, "ns/op"))
+		// Secondary units, diffed when either side carries them.
+		units := make(map[string]bool)
+		for u := range o {
+			units[u] = true
+		}
+		for u := range n {
+			units[u] = true
+		}
+		delete(units, "ns/op")
+		rest := make([]string, 0, len(units))
+		for u := range units {
+			rest = append(rest, u)
+		}
+		sort.Strings(rest)
+		for _, u := range rest {
+			// Skip units identical on both sides to keep the report
+			// signal-dense (B/op 0 → 0 says nothing).
+			if ov, nv := o[u], n[u]; math.Abs(ov-nv) < 1e-12 {
+				continue
+			}
+			fmt.Printf("%-60s %s\n", "", delta(o, n, u))
+		}
+	}
+}

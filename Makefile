@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke bench bench-diff clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke cluster-smoke bench bench-diff clean
 
 all: tier1
 
@@ -87,6 +87,16 @@ twin-smoke:
 		-object-bytes 2048 -platter-tracks 9 -zipf 1.2 \
 		-backend twin -policy silica -twin-speedup 20000
 	$(GO) test ./internal/gateway -run 'TestTwinE2E' -v -timeout 300s
+
+# Multi-library smoke: shard the archive across three in-process
+# libraries behind the consistent-hash router, destroy one entire
+# library mid-run, rebuild a fresh member from the cross-library
+# redundancy copies, and require the byte-exact audit to find every
+# acknowledged object intact. Then run the package's acceptance test.
+cluster-smoke:
+	$(GO) run ./cmd/silica-load -cluster 3 -kill-library \
+		-clients 16 -ops 12 -read-frac 0.35 -object-bytes 1536 -retries 12
+	$(GO) test ./internal/cluster -run 'TestClusterKillLibraryE2E' -v -timeout 300s
 
 # Codec benchmarks: GF(256) kernels, the word-packed per-sector
 # encode/decode (hard-decision fast path and the forced-BP soft path),

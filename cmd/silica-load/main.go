@@ -14,15 +14,25 @@
 // background scrubber must detect the failure, rebuild the platter
 // from its set, and the byte-exact audit must still find every
 // committed object intact.
+//
+// With -cluster N the in-process archive is sharded across N library
+// instances behind the consistent-hash router (internal/cluster), and
+// -kill-library escalates the drill from one platter to a whole
+// library: a member is destroyed mid-run, reads fail over to the
+// cross-library redundancy copies, a fresh library is rebuilt in its
+// place, and the audit must still find every acknowledged object
+// byte-exact.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"silica/internal/cluster"
 	"silica/internal/gateway"
 	"silica/internal/media"
 	"silica/internal/obs"
@@ -53,6 +63,8 @@ func main() {
 		highWatermark = flag.Float64("high-watermark", 0.95, "in-process mode: staging rejection watermark")
 		platterTracks = flag.Int("platter-tracks", 0, "in-process mode: shrink platters to this many tracks (0 = default)")
 		killPlatter   = flag.Bool("kill-platter", false, "in-process mode: fail a set member mid-run; scrubber must detect, rebuild must restore it")
+		clusterN      = flag.Int("cluster", 0, "in-process mode: shard across N libraries behind the consistent-hash router")
+		killLibrary   = flag.Bool("kill-library", false, "cluster mode: destroy an entire library mid-run; reads must fail over to cross-library redundancy and the rebuild must restore it")
 		rebuildWait   = flag.Duration("rebuild-wait", 60*time.Second, "max wait for the killed platter's rebuild before verification")
 		clientRetry   = flag.Bool("client-retry", false, "-url mode: retry 429/503 inside the HTTP client (jittered backoff, honors Retry-After)")
 		faultSeed     = flag.Uint64("fault-seed", 0, "in-process mode: seed for probabilistic fault triggers")
@@ -78,11 +90,25 @@ func main() {
 		ZipfSkew:       *zipfSkew,
 	}
 
+	if *killLibrary && *clusterN < 2 {
+		fmt.Fprintln(os.Stderr, "-kill-library needs -cluster N with N >= 2 (redundancy must land on a second library)")
+		os.Exit(2)
+	}
+	if *clusterN > 0 && *killPlatter {
+		fmt.Fprintln(os.Stderr, "-kill-platter and -cluster are separate drills; pick one")
+		os.Exit(2)
+	}
+
 	var api gateway.API
 	var g *gateway.Gateway
+	var cl *cluster.Cluster
 	if *url != "" {
 		if *killPlatter {
 			fmt.Fprintln(os.Stderr, "-kill-platter requires the in-process gateway (no -url)")
+			os.Exit(2)
+		}
+		if *clusterN > 0 {
+			fmt.Fprintln(os.Stderr, "-cluster requires the in-process gateway (no -url); point -url at a silicad -cluster router instead")
 			os.Exit(2)
 		}
 		c := gateway.NewClient(*url)
@@ -111,16 +137,35 @@ func main() {
 		if *platterTracks > 0 {
 			cfg.Service.Geom.TracksPerPlatter = *platterTracks
 		}
-		var err error
-		g, err = gateway.New(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *clusterN > 0 {
+			cfg.Service.PersistDir = "" // cluster roots per-shard subdirectories
+			var err error
+			cl, err = cluster.NewLocal(cluster.LocalConfig{
+				Libraries:  *clusterN,
+				Cluster:    cluster.Config{Seed: *seed},
+				Gateway:    cfg,
+				PersistDir: *persistDir,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer cl.Close()
+			api = cl
+			fmt.Printf("in-process cluster: %d libraries, %d clients x %d ops, %d-byte objects\n",
+				*clusterN, lc.Clients, lc.OpsPerClient, lc.ObjectBytes)
+		} else {
+			var err error
+			g, err = gateway.New(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer g.Close()
+			api = g
+			fmt.Printf("in-process gateway: %d clients x %d ops, %d-byte objects, staging cap %d\n",
+				lc.Clients, lc.OpsPerClient, lc.ObjectBytes, *stagingCap)
 		}
-		defer g.Close()
-		api = g
-		fmt.Printf("in-process gateway: %d clients x %d ops, %d-byte objects, staging cap %d\n",
-			lc.Clients, lc.OpsPerClient, lc.ObjectBytes, *stagingCap)
 	}
 
 	if *killPlatter {
@@ -128,10 +173,15 @@ func main() {
 		go killSetMember(g, victim)
 		lc.BeforeVerify = func() { awaitRebuild(g, victim, *rebuildWait) }
 	}
+	if *killLibrary {
+		victim := make(chan string, 1)
+		go killLibraryShard(cl, victim, *clients)
+		lc.BeforeVerify = func() { awaitLibraryRebuild(cl, victim, *rebuildWait) }
+	}
 
 	rep := gateway.RunLoad(api, lc)
 	fmt.Print(rep)
-	samples, serr := scrapeMetrics(api, g)
+	samples, serr := scrapeMetrics(api, g, cl)
 	if serr != nil {
 		fmt.Fprintf(os.Stderr, "metrics scrape: %v\n", serr)
 	} else {
@@ -144,6 +194,9 @@ func main() {
 	if c, ok := api.(*gateway.Client); ok && c.RetriesTotal() > 0 {
 		fmt.Printf("client: %d retries after 429/503\n", c.RetriesTotal())
 	}
+	if cl != nil {
+		printClusterSummary(cl)
+	}
 
 	if rep.Lost > 0 || rep.Corrupted > 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: committed objects lost or corrupted")
@@ -153,13 +206,19 @@ func main() {
 }
 
 // scrapeMetrics fetches the gateway's /metrics samples, over HTTP in
-// -url mode or straight off the in-process registry.
-func scrapeMetrics(api gateway.API, g *gateway.Gateway) ([]obs.PromSample, error) {
+// -url mode or straight off the in-process registry. In cluster mode
+// the router's registry carries silica_cluster_* families; per-shard
+// gateway families live in each shard's private registry.
+func scrapeMetrics(api gateway.API, g *gateway.Gateway, cl *cluster.Cluster) ([]obs.PromSample, error) {
 	if c, ok := api.(*gateway.Client); ok {
 		return c.Metrics()
 	}
 	var buf bytes.Buffer
-	if err := g.Metrics().WriteProm(&buf); err != nil {
+	reg := cl.Metrics
+	if g != nil {
+		reg = g.Metrics
+	}
+	if err := reg().WriteProm(&buf); err != nil {
 		return nil, err
 	}
 	return obs.ParseProm(&buf)
@@ -302,4 +361,83 @@ func awaitRebuild(g *gateway.Gateway, victim <-chan media.PlatterID, wait time.D
 	st := g.Service().Stats()
 	fmt.Printf("rebuild: %d platters rebuilt, %d scrubbed sectors, %d health transitions\n",
 		st.PlattersRebuilt, st.ScrubbedSectors, st.HealthTransitions)
+}
+
+// killLibraryShard waits until the cluster holds enough keys for the
+// drill to mean something, then destroys the library owning the most
+// primaries — the whole-failure-domain analogue of killSetMember. The
+// victim's name is sent on victim for awaitLibraryRebuild.
+func killLibraryShard(cl *cluster.Cluster, victim chan<- string, clients int) {
+	threshold := clients / 4
+	if threshold < 1 {
+		threshold = 1
+	}
+	for cl.Keys() < threshold {
+		time.Sleep(5 * time.Millisecond)
+	}
+	name, max := "", -1
+	for lib, n := range cl.PrimaryCounts() {
+		if n > max || (n == max && lib < name) {
+			name, max = lib, n
+		}
+	}
+	if err := cl.KillLibrary(name); err != nil {
+		fmt.Fprintf(os.Stderr, "kill: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kill: destroyed library %s mid-run (%d primary keys at time of death)\n", name, max)
+	victim <- name
+}
+
+// awaitLibraryRebuild replaces the killed library with a fresh, empty
+// one and rebalances: every key the victim held is rebuilt from its
+// cross-library redundancy copy. A key with no surviving copy is a
+// broken durability promise and fails the run; the byte-exact audit
+// in RunLoad then proves the rebuilt copies are intact.
+func awaitLibraryRebuild(cl *cluster.Cluster, victim <-chan string, wait time.Duration) {
+	var name string
+	select {
+	case name = <-victim:
+	case <-time.After(wait):
+		fmt.Fprintln(os.Stderr, "FAIL: cluster never reached the kill threshold; nothing was killed")
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	rep, err := cl.RebuildLibrary(ctx, name, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: rebuilding library %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if rep.Lost > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d key(s) had no surviving copy after losing %s\n", rep.Lost, name)
+		os.Exit(1)
+	}
+	fmt.Printf("rebuild: library %s replaced; %d/%d keys moved, %d bytes migrated\n",
+		name, rep.KeysMoved, rep.KeysExamined, rep.BytesMoved)
+	if cl.Degraded() {
+		fmt.Fprintln(os.Stderr, "FAIL: cluster still degraded after library rebuild")
+		os.Exit(1)
+	}
+}
+
+// printClusterSummary reports ring placement and redundancy accounting
+// after a cluster-mode run.
+func printClusterSummary(cl *cluster.Cluster) {
+	st := cl.Status()
+	fmt.Printf("cluster: %d keys across %d libraries (ring v%d, seed %d)\n",
+		st.Keys, len(st.Libraries), st.RingVersion, st.Seed)
+	fmt.Printf("  redundancy: %d replicated, %d unprotected, %d cross-library rebuild reads\n",
+		st.Replicated, st.Unprotected, st.RebuildReads)
+	if st.MovedKeys > 0 {
+		fmt.Printf("  rebalance: %d keys, %d bytes migrated\n", st.MovedKeys, st.MovedBytes)
+	}
+	for _, l := range st.Libraries {
+		state := "alive"
+		if !l.Alive {
+			state = "dead"
+		}
+		fmt.Printf("  %-8s %-5s own %5.1f%%  primaries %4d  replicas %4d  routed %5d\n",
+			l.Name, state, 100*l.Frac, l.PrimaryKeys, l.ReplicaKeys, l.Routed)
+	}
 }

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"silica/internal/backend"
+	"silica/internal/cluster"
 	"silica/internal/costmodel"
 	"silica/internal/gateway"
 	"silica/internal/media"
@@ -53,6 +55,8 @@ func main() {
 		costCmd(os.Args[2:])
 	case "top":
 		top(os.Args[2:])
+	case "cluster":
+		clusterCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -68,6 +72,8 @@ func usage() {
   silicactl repair -url URL ID   fail + rebuild platter ID on a running silicad
   silicactl metrics -url URL     dump a running silicad's raw /metrics text
   silicactl top -url URL         live telemetry table from /metrics (-n 1 for one shot)
+  silicactl cluster -url URL     ring ownership, per-library health, and redundancy
+                                 placement of a silicad -cluster router (/v1/cluster)
   silicactl cost                 §9 TCO comparison tape/HDD/Silica (-url to price on a
                                  running silicad; -archive-tb/-horizon/... set workload)`)
 	os.Exit(2)
@@ -220,6 +226,81 @@ func printTop(url string, samples []obs.PromSample, bst backend.Status) {
 	}
 	fmt.Println()
 	printBackend(samples, bst)
+	printClusterTop(samples)
+}
+
+// printClusterTop adds the router's silica_cluster_* families to top
+// when the scraped daemon is a cluster router (single-library daemons
+// export none of them and print nothing).
+func printClusterTop(samples []obs.PromSample) {
+	ring, ok := obs.FindSample(samples, "silica_cluster_ring_version", nil)
+	if !ok {
+		return
+	}
+	val := func(name string, labels map[string]string) float64 {
+		s, _ := obs.FindSample(samples, name, labels)
+		return s.Value
+	}
+	fmt.Printf("cluster  ring v%.0f, %.0f keys, %.0f live / %.0f dead libraries\n",
+		ring.Value,
+		val("silica_cluster_keys", nil),
+		val("silica_cluster_libraries", map[string]string{"state": "alive"}),
+		val("silica_cluster_libraries", map[string]string{"state": "dead"}))
+	fmt.Printf("  %.0f rebuild reads, %.0f keys / %s moved by rebalance, %.0f library kills\n",
+		val("silica_cluster_rebuild_reads_total", nil),
+		val("silica_cluster_rebalance_moved_keys_total", nil),
+		fmtBytes(val("silica_cluster_rebalance_moved_bytes_total", nil)),
+		val("silica_cluster_library_kills_total", nil))
+	routed := map[string]float64{}
+	var libs []string
+	for _, s := range samples {
+		if s.Name != "silica_cluster_routed_total" {
+			continue
+		}
+		lib := s.Labels["library"]
+		if _, seen := routed[lib]; !seen {
+			libs = append(libs, lib)
+		}
+		routed[lib] += s.Value
+	}
+	if len(libs) > 0 {
+		sort.Strings(libs)
+		fmt.Printf("  routed ")
+		for _, lib := range libs {
+			fmt.Printf(" %s=%.0f", lib, routed[lib])
+		}
+		fmt.Println()
+	}
+}
+
+// clusterCmd renders a cluster router's GET /v1/cluster: ring
+// ownership, per-library serving state, and redundancy placement.
+func clusterCmd(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7070", "cluster router base URL")
+	fs.Parse(args)
+	st, err := cluster.FetchStatus(nil, *url)
+	check(err)
+
+	fmt.Printf("cluster — %s (ring v%d, seed %d, %d vnodes/library)\n\n",
+		*url, st.RingVersion, st.Seed, st.VNodes)
+	fmt.Printf("keys      %d placed: %d fully replicated, %d unprotected\n",
+		st.Keys, st.Replicated, st.Unprotected)
+	fmt.Printf("activity  %d cross-library rebuild reads, %d keys / %s moved by rebalance\n\n",
+		st.RebuildReads, st.MovedKeys, fmtBytes(float64(st.MovedBytes)))
+	fmt.Printf("%-12s %-6s %6s %9s %9s %8s %9s %10s %8s\n",
+		"library", "state", "own%", "primaries", "replicas", "routed", "in-flight", "staging", "flushes")
+	for _, l := range st.Libraries {
+		state := "alive"
+		if !l.Alive {
+			state = "dead"
+		} else if l.State.Degraded {
+			state = "degr"
+		}
+		fmt.Printf("%-12s %-6s %5.1f%% %9d %9d %8d %9d %10s %8d\n",
+			l.Name, state, 100*l.Frac, l.PrimaryKeys, l.ReplicaKeys, l.Routed,
+			l.State.InFlight, fmtBytes(float64(l.State.Staging.Used)), l.State.Flushes)
+	}
 }
 
 // printBackend renders the media backend's mechanical telemetry: the

@@ -27,6 +27,17 @@
 // distributions — throttled to wall time by -twin-speedup. Bytes are
 // identical to -backend direct; only timing differs.
 //
+// With -cluster N (or -peers url,url,...) the daemon serves the
+// multi-library router instead of one gateway: the archive shards
+// across N in-process library instances (or a fleet of peer silicads)
+// on a deterministic consistent-hash ring, every write places a
+// cross-library redundancy copy on the ring successor, and the
+// object API above is unchanged. Router-only endpoints:
+//
+//	GET  /v1/cluster             ring ownership + per-library state
+//	POST /v1/cluster/rebalance   reconcile placement now
+//	POST /v1/cluster/drain       migrate a library's ranges off, close it
+//
 // With -persist-dir the daemon is durable: it recovers snapshot+WAL
 // state from the directory on start, fsyncs the WAL before every
 // acknowledgment, and snapshots on graceful shutdown. kill-mode fault
@@ -52,10 +63,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"silica/internal/backend"
+	"silica/internal/cluster"
 	"silica/internal/gateway"
 )
 
@@ -92,6 +105,10 @@ func main() {
 		backendKind   = flag.String("backend", "direct", "media backend: direct (no mechanical latency) or twin (calibrated library simulation)")
 		policy        = flag.String("policy", "silica", "twin backend scheduling policy: silica, sp, or ns")
 		twinSpeedup   = flag.Float64("twin-speedup", 0, "twin backend virtual-to-wall clock ratio (0 = default 200x)")
+		clusterN      = flag.Int("cluster", 0, "router mode: shard the archive across N in-process libraries (consistent-hash placement + cross-library redundancy)")
+		peers         = flag.String("peers", "", "router mode: comma-separated peer silicad URLs to route across (mutually exclusive with -cluster)")
+		clusterSeed   = flag.Uint64("cluster-seed", 1, "router mode: ring placement seed (same seed + members = identical routing)")
+		clusterVNodes = flag.Int("cluster-vnodes", 0, "router mode: virtual nodes per library (0 = default)")
 	)
 	var faultRules multiFlag
 	flag.Var(&faultRules, "fault", "fault-injection rule (repeatable), e.g. op=media.write,mode=error,every=7,count=5")
@@ -129,6 +146,15 @@ func main() {
 			sp = backend.DefaultSpeedup
 		}
 		log.Printf("twin backend: policy %s, speedup %gx", *policy, sp)
+	}
+
+	if *clusterN > 0 && *peers != "" {
+		fmt.Fprintln(os.Stderr, "-cluster and -peers are exclusive router modes; pick one")
+		os.Exit(2)
+	}
+	if *clusterN > 0 || *peers != "" {
+		runCluster(cfg, *listen, *clusterN, *peers, *clusterSeed, *clusterVNodes, *persistDir, *retryAfter)
+		return
 	}
 
 	g, err := gateway.New(cfg)
@@ -174,4 +200,64 @@ func main() {
 	log.Printf("drained: %d completed, %d rejected, %d flushes, %d platters written",
 		snap.Counters.Completed, snap.Counters.Rejected, snap.Counters.Flushes,
 		snap.Service.PlattersWritten)
+}
+
+// runCluster serves the multi-library router: N in-process library
+// shards (-cluster) or a fleet of peer daemons (-peers), behind one
+// consistent-hash placement layer with cross-library redundancy.
+func runCluster(cfg gateway.Config, listen string, n int, peers string, seed uint64, vnodes int, persistDir string, retryAfter time.Duration) {
+	ccfg := cluster.Config{Seed: seed, VNodes: vnodes, RetryAfter: retryAfter}
+	var c *cluster.Cluster
+	var err error
+	if n > 0 {
+		cfg.Service.PersistDir = "" // LocalConfig roots per-shard subdirectories
+		c, err = cluster.NewLocal(cluster.LocalConfig{
+			Libraries:  n,
+			Cluster:    ccfg,
+			Gateway:    cfg,
+			PersistDir: persistDir,
+		})
+		if err == nil {
+			log.Printf("cluster router: %d in-process libraries, ring seed %d", n, seed)
+		}
+	} else {
+		urls := strings.Split(peers, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		c, err = cluster.NewRemote(ccfg, urls)
+		if err == nil {
+			log.Printf("cluster router: %d peer daemons, ring seed %d", len(urls), seed)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: listen, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("silicad (cluster router) listening on %s", listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s; draining", sig)
+	case err := <-errc:
+		log.Printf("server error: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		log.Printf("cluster close: %v", err)
+		os.Exit(1)
+	}
+	st := c.Status()
+	log.Printf("drained: %d keys across %d libraries, %d cross-library rebuild reads",
+		st.Keys, len(st.Libraries), st.RebuildReads)
 }

@@ -1,0 +1,912 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"silica/internal/gateway"
+	"silica/internal/metadata"
+	"silica/internal/obs"
+	"silica/internal/staging"
+)
+
+// replicaPrefix namespaces the cross-library redundancy copy inside
+// the holder's account space, so a library can hold both roles of
+// different keys without collision and a rebalance can address each
+// role independently.
+const replicaPrefix = "~replica~"
+
+// ErrNoLibraries is returned when no live library can serve a request.
+var ErrNoLibraries = errors.New("cluster: no live libraries")
+
+// ErrUnknownLibrary names a member the cluster has never seen.
+var ErrUnknownLibrary = errors.New("cluster: unknown library")
+
+// LibraryState is one member's serving-stack summary for /v1/cluster.
+type LibraryState struct {
+	Healthy  bool          `json:"healthy"`
+	Degraded bool          `json:"degraded"` // reduced redundancy or rebuild in flight
+	InFlight int64         `json:"in_flight"`
+	Staging  staging.Usage `json:"staging"`
+	Platters int           `json:"platters_written"`
+	Flushes  int64         `json:"flushes"`
+}
+
+// Library is one archive library the cluster routes to: a full
+// serving stack with its own staging tier, platter index, flush
+// scheduler, and repair manager. LocalLibrary wraps an in-process
+// *gateway.Gateway; RemoteLibrary wraps a *gateway.Client pointed at a
+// peer silicad.
+type Library interface {
+	PutCtx(ctx context.Context, account, name string, data []byte) (int, error)
+	GetCtx(ctx context.Context, account, name string) ([]byte, error)
+	DeleteCtx(ctx context.Context, account, name string) error
+	Flush() error
+	Close() error
+	State() LibraryState
+}
+
+// LocalLibrary is an in-process shard: its own gateway over its own
+// service, so its queues, flush scheduler, and platter index are
+// private — no cross-shard flushMu or index contention.
+type LocalLibrary struct{ G *gateway.Gateway }
+
+func (l LocalLibrary) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	return l.G.PutCtx(ctx, account, name, data)
+}
+func (l LocalLibrary) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	return l.G.GetCtx(ctx, account, name)
+}
+func (l LocalLibrary) DeleteCtx(ctx context.Context, account, name string) error {
+	return l.G.DeleteCtx(ctx, account, name)
+}
+func (l LocalLibrary) Flush() error { return l.G.Flush() }
+func (l LocalLibrary) Close() error { return l.G.Close() }
+func (l LocalLibrary) State() LibraryState {
+	snap := l.G.Snapshot()
+	return LibraryState{
+		Healthy:  true,
+		Degraded: l.G.Degraded(),
+		InFlight: snap.Counters.Accepted - snap.Counters.Completed,
+		Staging:  snap.Staging,
+		Platters: snap.Service.PlattersWritten,
+		Flushes:  snap.Counters.Flushes,
+	}
+}
+
+// RemoteLibrary is a peer silicad reached over HTTP. The shared
+// bounded transport in gateway.Client keeps rebuild/router fan-out on
+// pooled connections; the retry policy rides out transient 429/503s.
+type RemoteLibrary struct{ C *gateway.Client }
+
+func (r RemoteLibrary) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	return r.C.PutCtx(ctx, account, name, data)
+}
+func (r RemoteLibrary) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	return r.C.GetCtx(ctx, account, name)
+}
+func (r RemoteLibrary) DeleteCtx(ctx context.Context, account, name string) error {
+	return r.C.DeleteCtx(ctx, account, name)
+}
+func (r RemoteLibrary) Flush() error { return r.C.Flush() }
+
+// Close is a no-op: a peer daemon's lifecycle is not the router's.
+func (r RemoteLibrary) Close() error { return nil }
+
+func (r RemoteLibrary) State() LibraryState {
+	st := LibraryState{}
+	hz, err := r.C.Healthz()
+	if err != nil {
+		return st
+	}
+	st.Healthy = true
+	st.Degraded = hz.Status != "ok"
+	if snap, err := r.C.Stats(); err == nil {
+		st.InFlight = snap.Counters.Accepted - snap.Counters.Completed
+		st.Staging = snap.Staging
+		st.Platters = snap.Service.PlattersWritten
+		st.Flushes = snap.Counters.Flushes
+	}
+	return st
+}
+
+// member is one library slot: the ring knows it by name; alive flips
+// false on kill/drain and the router stops placing data there. epoch
+// increments every time the member is rebuilt from scratch — a fresh
+// library under an old name carries none of the old bytes, and copies
+// recorded against an earlier epoch must be treated as gone.
+type member struct {
+	name  string
+	lib   Library
+	alive bool
+	epoch uint64
+}
+
+// entry records where one object's copies live. The primary holds the
+// object under its own account; the replica holds it under the
+// replicaPrefix namespace. Either copy alone reconstructs the object.
+// pEpoch/rEpoch pin the member incarnation each copy was written to:
+// a copy on a member whose epoch has since advanced does not exist.
+type entry struct {
+	account, name    string
+	primary, replica string // replica == "" when the cluster has one member
+	pEpoch, rEpoch   uint64
+	version          int
+	size             int64
+}
+
+// Config shapes a cluster router.
+type Config struct {
+	// Seed fixes ring placement; the same seed and membership give
+	// byte-identical routing across restarts.
+	Seed uint64
+	// VNodes is the per-library virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// Metrics receives the silica_cluster_* families. Nil builds a
+	// private registry (still served on the router's /metrics).
+	Metrics *obs.Registry
+	// RetryAfter is the backoff hint for the router's 429/503 responses.
+	RetryAfter time.Duration
+}
+
+// Cluster is the placement/router tier. Create with New, add members
+// with AddLibrary, stop with Close.
+type Cluster struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.RWMutex
+	ring    *Ring
+	members map[string]*member
+	dir     map[string]*entry // ring key -> placement
+
+	// keyMu stripes per-key critical sections so a rebalance moving one
+	// key cannot interleave with a concurrent write to the same key.
+	keyMu [64]sync.Mutex
+
+	// makeLocal rebuilds a destroyed local member (set by NewLocal).
+	makeLocal func(name string) (Library, error)
+
+	reg *obs.Registry
+	cm  *clusterMetrics
+}
+
+// New builds an empty cluster router; add members with AddLibrary.
+func New(cfg Config) *Cluster {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		start:   time.Now(),
+		ring:    NewRing(cfg.Seed, cfg.VNodes),
+		members: make(map[string]*member),
+		dir:     make(map[string]*entry),
+		reg:     reg,
+	}
+	c.cm = newClusterMetrics(reg, c)
+	return c
+}
+
+// Metrics exposes the router's registry (the silica_cluster_* families).
+func (c *Cluster) Metrics() *obs.Registry { return c.reg }
+
+// AddLibrary registers a member and puts it on the ring. Existing keys
+// are not moved; call Rebalance to migrate the ranges the new member
+// now owns.
+func (c *Cluster) AddLibrary(name string, lib Library) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[name]; ok {
+		return fmt.Errorf("cluster: library %q already a member", name)
+	}
+	if err := c.ring.Add(name); err != nil {
+		return err
+	}
+	c.members[name] = &member{name: name, lib: lib, alive: true}
+	return nil
+}
+
+// stripe returns the per-key mutex for a ring key.
+func (c *Cluster) stripe(key string) *sync.Mutex {
+	return &c.keyMu[hash64(c.cfg.Seed^0x5f5f, key)%uint64(len(c.keyMu))]
+}
+
+// owners resolves the current live placement for a key: primary then
+// replica, skipping dead members. Callers hold at least c.mu.RLock.
+func (c *Cluster) owners(key string) []string {
+	// Ask for every member: dead ones are filtered, and we only need
+	// the first two live distinct libraries.
+	all := c.ring.Owners(key, c.ring.Size())
+	live := make([]string, 0, 2)
+	for _, name := range all {
+		if m := c.members[name]; m != nil && m.alive {
+			live = append(live, name)
+			if len(live) == 2 {
+				break
+			}
+		}
+	}
+	return live
+}
+
+// liveMember resolves a member only if it is alive.
+func (c *Cluster) liveMember(name string) Library {
+	if m := c.members[name]; m != nil && m.alive {
+		return m.lib
+	}
+	return nil
+}
+
+// copyLive resolves a copy-holder only if it is alive AND still the
+// incarnation the copy was written to. A rebuilt member answers to the
+// same name but holds none of the old bytes; the epoch check keeps a
+// stale directory entry from being mistaken for a live copy.
+func (c *Cluster) copyLive(name string, epoch uint64) Library {
+	if m := c.members[name]; m != nil && m.alive && m.epoch == epoch {
+		return m.lib
+	}
+	return nil
+}
+
+// Put routes a write: the object lands on its primary library and a
+// redundancy copy lands on the ring successor. The write is
+// acknowledged only after every placed copy is staged, so a whole-
+// library loss after the ack always leaves a readable copy.
+func (c *Cluster) Put(account, name string, data []byte) (int, error) {
+	return c.PutCtx(context.Background(), account, name, data)
+}
+
+// PutCtx is Put under the caller's ctx.
+func (c *Cluster) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	key := Key(account, name)
+	st := c.stripe(key)
+	st.Lock()
+	defer st.Unlock()
+
+	c.mu.RLock()
+	targets := c.owners(key)
+	var primary, replica Library
+	var pEpoch, rEpoch uint64
+	if len(targets) > 0 {
+		if m := c.members[targets[0]]; m != nil && m.alive {
+			primary, pEpoch = m.lib, m.epoch
+		}
+	}
+	if len(targets) > 1 {
+		if m := c.members[targets[1]]; m != nil && m.alive {
+			replica, rEpoch = m.lib, m.epoch
+		}
+	}
+	c.mu.RUnlock()
+	if primary == nil {
+		return 0, ErrNoLibraries
+	}
+
+	version, err := primary.PutCtx(ctx, account, name, data)
+	if err != nil {
+		return 0, err
+	}
+	c.cm.routed(targets[0], "put")
+	e := &entry{account: account, name: name, primary: targets[0], pEpoch: pEpoch,
+		version: version, size: int64(len(data))}
+	if replica != nil {
+		if _, err := replica.PutCtx(ctx, replicaPrefix+account, name, data); err != nil {
+			// Un-acknowledged: the caller retries the whole op, and the
+			// primary copy is an orphan a later retry overwrites.
+			return 0, fmt.Errorf("cluster: redundancy copy on %s: %w", targets[1], err)
+		}
+		c.cm.routed(targets[1], "put")
+		e.replica, e.rEpoch = targets[1], rEpoch
+	}
+	c.mu.Lock()
+	c.dir[key] = e
+	c.mu.Unlock()
+	return version, nil
+}
+
+// Get routes a read to the primary copy-holder; when that library is
+// dead (or the read fails there), it falls back to the cross-library
+// redundancy copy on the replica holder — the read path a whole-
+// library failure exercises.
+func (c *Cluster) Get(account, name string) ([]byte, error) {
+	return c.GetCtx(context.Background(), account, name)
+}
+
+// GetCtx is Get under the caller's ctx.
+func (c *Cluster) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	key := Key(account, name)
+	c.mu.RLock()
+	e, ok := c.dir[key]
+	var primary, replica Library
+	var ent entry
+	if ok {
+		ent = *e
+		primary = c.copyLive(ent.primary, ent.pEpoch)
+		if ent.replica != "" {
+			replica = c.copyLive(ent.replica, ent.rEpoch)
+		}
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", metadata.ErrNotFound, account, name)
+	}
+
+	var firstErr error
+	if primary != nil {
+		data, err := primary.GetCtx(ctx, account, name)
+		if err == nil {
+			c.cm.routed(ent.primary, "get")
+			return data, nil
+		}
+		if errors.Is(err, metadata.ErrNotFound) || ctx.Err() != nil {
+			return nil, err
+		}
+		firstErr = err
+	}
+	if replica != nil {
+		data, err := replica.GetCtx(ctx, replicaPrefix+account, name)
+		if err == nil {
+			c.cm.routed(ent.replica, "get")
+			c.cm.rebuildReads.Inc()
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoLibraries
+	}
+	return nil, fmt.Errorf("cluster: %s/%s unreadable on every copy-holder: %w", account, name, firstErr)
+}
+
+// Delete removes the object from every live copy-holder and drops the
+// directory entry. Copies on dead members die with their library.
+func (c *Cluster) Delete(account, name string) error {
+	return c.DeleteCtx(context.Background(), account, name)
+}
+
+// DeleteCtx is Delete under the caller's ctx.
+func (c *Cluster) DeleteCtx(ctx context.Context, account, name string) error {
+	key := Key(account, name)
+	st := c.stripe(key)
+	st.Lock()
+	defer st.Unlock()
+
+	c.mu.RLock()
+	e, ok := c.dir[key]
+	var primary, replica Library
+	var ent entry
+	if ok {
+		ent = *e
+		primary = c.copyLive(ent.primary, ent.pEpoch)
+		if ent.replica != "" {
+			replica = c.copyLive(ent.replica, ent.rEpoch)
+		}
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", metadata.ErrNotFound, account, name)
+	}
+	if primary != nil {
+		if err := primary.DeleteCtx(ctx, account, name); err != nil && !errors.Is(err, metadata.ErrNotFound) {
+			return err
+		}
+		c.cm.routed(ent.primary, "delete")
+	}
+	if replica != nil {
+		if err := replica.DeleteCtx(ctx, replicaPrefix+account, name); err != nil && !errors.Is(err, metadata.ErrNotFound) {
+			return err
+		}
+		c.cm.routed(ent.replica, "delete")
+	}
+	c.mu.Lock()
+	delete(c.dir, key)
+	c.mu.Unlock()
+	return nil
+}
+
+// Flush drains every live library's staging tier concurrently — each
+// shard runs its own flush pipeline, so the passes overlap instead of
+// serializing on one flushMu.
+func (c *Cluster) Flush() error {
+	c.mu.RLock()
+	libs := make([]Library, 0, len(c.members))
+	for _, m := range c.members {
+		if m.alive {
+			libs = append(libs, m.lib)
+		}
+	}
+	c.mu.RUnlock()
+	errs := make([]error, len(libs))
+	var wg sync.WaitGroup
+	for i, lib := range libs {
+		wg.Add(1)
+		go func(i int, lib Library) {
+			defer wg.Done()
+			errs[i] = lib.Flush()
+		}(i, lib)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// KillLibrary destroys a member mid-run: it leaves the ring, stops
+// receiving routes, and its in-memory archive is gone from the
+// cluster's point of view. Reads of keys it held fail over to their
+// redundancy copies; new writes place around it. The underlying
+// gateway is shut down in the background (a real loss would not drain
+// politely, but the bytes it flushes are unreachable either way).
+func (c *Cluster) KillLibrary(name string) error {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+	}
+	if !m.alive {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: library %q already dead", name)
+	}
+	m.alive = false
+	err := c.ring.Remove(name)
+	lib := m.lib
+	m.lib = nil
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.cm.kills.Inc()
+	go lib.Close()
+	return nil
+}
+
+// DrainLibrary migrates everything off a member, then closes it and
+// forgets it: the planned shrink path (contrast KillLibrary). Only the
+// affected key ranges move.
+func (c *Cluster) DrainLibrary(ctx context.Context, name string) (RebalanceReport, error) {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok || !m.alive {
+		c.mu.Unlock()
+		return RebalanceReport{}, fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+	}
+	// Off the ring first: new placements avoid it while its data is
+	// still readable for the migration below.
+	err := c.ring.Remove(name)
+	c.mu.Unlock()
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	rep, rerr := c.Rebalance(ctx)
+	c.mu.Lock()
+	m.alive = false
+	lib := m.lib
+	m.lib = nil
+	delete(c.members, name)
+	c.mu.Unlock()
+	if lib != nil {
+		if cerr := lib.Close(); rerr == nil {
+			rerr = cerr
+		}
+	}
+	return rep, rerr
+}
+
+// Join adds a new member to a running cluster and migrates the key
+// ranges it now owns (the inverse of DrainLibrary).
+func (c *Cluster) Join(ctx context.Context, name string, lib Library) (RebalanceReport, error) {
+	if err := c.AddLibrary(name, lib); err != nil {
+		return RebalanceReport{}, err
+	}
+	return c.Rebalance(ctx)
+}
+
+// RebuildLibrary replaces a killed member with a fresh, empty library
+// under the same name and restores full redundancy: every key that
+// lost a copy is re-read from its surviving peer copy and re-placed.
+// When the cluster was built by NewLocal, lib may be nil and the
+// member is rebuilt from the local template.
+func (c *Cluster) RebuildLibrary(ctx context.Context, name string, lib Library) (RebalanceReport, error) {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok {
+		c.mu.Unlock()
+		return RebalanceReport{}, fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+	}
+	if m.alive {
+		c.mu.Unlock()
+		return RebalanceReport{}, fmt.Errorf("cluster: library %q is alive; drain it instead", name)
+	}
+	mk := c.makeLocal
+	c.mu.Unlock()
+	if lib == nil {
+		if mk == nil {
+			return RebalanceReport{}, fmt.Errorf("cluster: no local factory to rebuild %q", name)
+		}
+		var err error
+		lib, err = mk(name)
+		if err != nil {
+			return RebalanceReport{}, err
+		}
+	}
+	c.mu.Lock()
+	m.lib = lib
+	m.alive = true
+	m.epoch++ // old-epoch copies recorded against this name are gone
+	err := c.ring.Add(name)
+	c.mu.Unlock()
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	return c.Rebalance(ctx)
+}
+
+// RebalanceReport summarizes one reconciliation pass.
+type RebalanceReport struct {
+	KeysExamined int   `json:"keys_examined"`
+	KeysMoved    int   `json:"keys_moved"`
+	BytesMoved   int64 `json:"bytes_moved"`
+	Lost         int   `json:"lost"` // keys with no surviving copy
+}
+
+// Rebalance walks the directory and reconciles every key against the
+// current ring: copies move onto the libraries that now own them and
+// leave the ones that no longer do. Only keys whose placement changed
+// are touched — the minimal-movement property the ring tests pin.
+func (c *Cluster) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	var rep RebalanceReport
+	c.mu.RLock()
+	keys := make([]string, 0, len(c.dir))
+	for k := range c.dir {
+		keys = append(keys, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(keys) // deterministic migration order
+	var firstErr error
+	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		moved, bytes, err := c.reconcileKey(ctx, key)
+		rep.KeysExamined++
+		if moved {
+			rep.KeysMoved++
+			rep.BytesMoved += bytes
+			c.cm.movedKeys.Inc()
+			c.cm.movedBytes.Add(bytes)
+		}
+		if err != nil {
+			if errors.Is(err, errNoCopy) {
+				rep.Lost++
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: rebalance %s: %w", key, err)
+			}
+		}
+	}
+	return rep, firstErr
+}
+
+// errNoCopy marks a key whose every copy-holder is dead: data loss the
+// redundancy placement exists to prevent (requires losing both copy
+// holders).
+var errNoCopy = errors.New("no surviving copy")
+
+// role addresses one copy of a key.
+type role struct {
+	lib     string
+	account string // plain for primary, replicaPrefix-namespaced for replica
+}
+
+// reconcileKey moves one key's copies onto the ring's current owners.
+// It holds the key's stripe so concurrent writes to the same key
+// serialize with the move.
+func (c *Cluster) reconcileKey(ctx context.Context, key string) (moved bool, bytes int64, err error) {
+	st := c.stripe(key)
+	st.Lock()
+	defer st.Unlock()
+
+	c.mu.RLock()
+	e, ok := c.dir[key]
+	if !ok {
+		c.mu.RUnlock()
+		return false, 0, nil // deleted while rebalancing
+	}
+	ent := *e
+	targets := c.owners(key)
+	// Surviving copies: alive AND the incarnation the copy was written
+	// to. A rebuilt member is a valid write target under its old name
+	// but holds nothing, so source and destination resolve differently.
+	srcPrimary := c.copyLive(ent.primary, ent.pEpoch)
+	var srcReplica Library
+	if ent.replica != "" {
+		srcReplica = c.copyLive(ent.replica, ent.rEpoch)
+	}
+	dst := make(map[string]Library, len(targets))
+	dstEpoch := make(map[string]uint64, len(targets))
+	for _, n := range targets {
+		if m := c.members[n]; m != nil && m.alive {
+			dst[n], dstEpoch[n] = m.lib, m.epoch
+		}
+	}
+	c.mu.RUnlock()
+
+	if len(targets) == 0 {
+		return false, 0, ErrNoLibraries
+	}
+	wantPrimary := targets[0]
+	wantReplica := ""
+	if len(targets) > 1 {
+		wantReplica = targets[1]
+	}
+	if wantPrimary == ent.primary && wantReplica == ent.replica &&
+		srcPrimary != nil && (ent.replica == "" || srcReplica != nil) {
+		return false, 0, nil // placement already correct and live
+	}
+
+	// Read the object once from any surviving copy, primary first.
+	var data []byte
+	var rerr error
+	if srcPrimary != nil {
+		data, rerr = srcPrimary.GetCtx(ctx, ent.account, ent.name)
+	} else {
+		rerr = fmt.Errorf("primary %s dead", ent.primary)
+	}
+	if rerr != nil && srcReplica != nil {
+		data, rerr = srcReplica.GetCtx(ctx, replicaPrefix+ent.account, ent.name)
+		if rerr == nil {
+			c.cm.rebuildReads.Inc()
+		}
+	}
+	if rerr != nil || data == nil {
+		return false, 0, fmt.Errorf("%w (primary %s, replica %s): %v", errNoCopy, ent.primary, ent.replica, rerr)
+	}
+
+	// have maps each surviving copy to its handle; stale-epoch copies
+	// are simply absent (nothing to read, nothing to retire).
+	have := map[role]Library{}
+	if srcPrimary != nil {
+		have[role{ent.primary, ent.account}] = srcPrimary
+	}
+	if srcReplica != nil {
+		have[role{ent.replica, replicaPrefix + ent.account}] = srcReplica
+	}
+	newRoles := map[role]bool{{wantPrimary, ent.account}: true}
+	if wantReplica != "" {
+		newRoles[role{wantReplica, replicaPrefix + ent.account}] = true
+	}
+
+	version := ent.version
+	for r := range newRoles {
+		if have[r] != nil {
+			continue // copy already in place
+		}
+		lib := dst[r.lib]
+		if lib == nil {
+			return false, 0, fmt.Errorf("target %s died during rebalance", r.lib)
+		}
+		v, err := lib.PutCtx(ctx, r.account, ent.name, data)
+		if err != nil {
+			return false, 0, fmt.Errorf("copy to %s: %w", r.lib, err)
+		}
+		if r.lib == wantPrimary && r.account == ent.account {
+			version = v
+		}
+		moved = true
+		bytes += int64(len(data))
+	}
+	// Remove surviving copies that no longer belong where they are.
+	for r, lib := range have {
+		if newRoles[r] {
+			continue
+		}
+		if err := lib.DeleteCtx(ctx, r.account, ent.name); err != nil && !errors.Is(err, metadata.ErrNotFound) {
+			return moved, bytes, fmt.Errorf("retire copy on %s: %w", r.lib, err)
+		}
+	}
+
+	c.mu.Lock()
+	if cur, ok := c.dir[key]; ok {
+		cur.primary, cur.replica, cur.version = wantPrimary, wantReplica, version
+		cur.pEpoch, cur.rEpoch = dstEpoch[wantPrimary], dstEpoch[wantReplica]
+	}
+	c.mu.Unlock()
+	return moved, bytes, nil
+}
+
+// Keys reports the directory size (objects the router has placed).
+func (c *Cluster) Keys() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.dir)
+}
+
+// Close shuts every live member down. Each local gateway drains its
+// queues and flushes its staging tier.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	libs := make([]Library, 0, len(c.members))
+	for _, m := range c.members {
+		if m.alive && m.lib != nil {
+			m.alive = false
+			libs = append(libs, m.lib)
+			m.lib = nil
+		}
+	}
+	c.mu.Unlock()
+	errs := make([]error, len(libs))
+	var wg sync.WaitGroup
+	for i, lib := range libs {
+		wg.Add(1)
+		go func(i int, lib Library) {
+			defer wg.Done()
+			errs[i] = lib.Close()
+		}(i, lib)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// LibraryStatus is one member's row in the /v1/cluster payload.
+type LibraryStatus struct {
+	Name        string       `json:"name"`
+	Alive       bool         `json:"alive"`
+	Frac        float64      `json:"ownership_fraction"`
+	PrimaryKeys int          `json:"primary_keys"`
+	ReplicaKeys int          `json:"replica_keys"`
+	Routed      int64        `json:"routed_ops"`
+	State       LibraryState `json:"state"`
+}
+
+// Status is the GET /v1/cluster payload: ring ownership plus
+// per-library serving state and redundancy-placement accounting.
+type Status struct {
+	RingVersion  uint64          `json:"ring_version"`
+	VNodes       int             `json:"vnodes_per_library"`
+	Seed         uint64          `json:"seed"`
+	Keys         int             `json:"keys"`
+	Replicated   int             `json:"replicated_keys"`  // keys with a live redundancy copy
+	Unprotected  int             `json:"unprotected_keys"` // keys with exactly one live copy
+	RebuildReads int64           `json:"rebuild_reads"`    // cross-library redundancy reads
+	MovedKeys    int64           `json:"rebalance_moved_keys"`
+	MovedBytes   int64           `json:"rebalance_moved_bytes"`
+	Libraries    []LibraryStatus `json:"libraries"`
+}
+
+// Status assembles the cluster snapshot. Per-library State() may call
+// a remote peer; the lock is not held across those calls.
+func (c *Cluster) Status() Status {
+	c.mu.RLock()
+	st := Status{
+		RingVersion: c.ring.Version(),
+		VNodes:      c.ring.vnodes,
+		Seed:        c.cfg.Seed,
+		Keys:        len(c.dir),
+	}
+	fracs := c.ring.OwnershipFractions()
+	prim := map[string]int{}
+	repl := map[string]int{}
+	for _, e := range c.dir {
+		prim[e.primary]++
+		liveP := c.copyLive(e.primary, e.pEpoch) != nil
+		liveR := false
+		if e.replica != "" {
+			repl[e.replica]++
+			liveR = c.copyLive(e.replica, e.rEpoch) != nil
+		}
+		if liveP && liveR {
+			st.Replicated++
+		} else if liveP || liveR {
+			st.Unprotected++
+		}
+	}
+	names := make([]string, 0, len(c.members))
+	for n := range c.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]LibraryStatus, 0, len(names))
+	libs := make([]Library, 0, len(names))
+	for _, n := range names {
+		m := c.members[n]
+		rows = append(rows, LibraryStatus{
+			Name:        n,
+			Alive:       m.alive,
+			Frac:        fracs[n],
+			PrimaryKeys: prim[n],
+			ReplicaKeys: repl[n],
+			Routed:      c.cm.routedTotal(n),
+		})
+		if m.alive {
+			libs = append(libs, m.lib)
+		} else {
+			libs = append(libs, nil)
+		}
+	}
+	c.mu.RUnlock()
+	st.RebuildReads = c.cm.rebuildReads.Value()
+	st.MovedKeys = c.cm.movedKeys.Value()
+	st.MovedBytes = c.cm.movedBytes.Value()
+	for i, lib := range libs {
+		if lib != nil {
+			rows[i].State = lib.State()
+		}
+	}
+	st.Libraries = rows
+	return st
+}
+
+// Libraries lists member names, sorted, with liveness.
+func (c *Cluster) Libraries() map[string]bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]bool, len(c.members))
+	for n, m := range c.members {
+		out[n] = m.alive
+	}
+	return out
+}
+
+// PrimaryCounts reports how many keys each live member holds as
+// primary (the kill drill picks the biggest holder as its victim).
+func (c *Cluster) PrimaryCounts() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string]int{}
+	for _, e := range c.dir {
+		out[e.primary]++
+	}
+	return out
+}
+
+// Degraded reports whether any member is dead or any key has lost its
+// redundancy copy.
+func (c *Cluster) Degraded() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.members {
+		if !m.alive {
+			return true
+		}
+	}
+	for _, e := range c.dir {
+		if c.copyLive(e.primary, e.pEpoch) == nil {
+			return true
+		}
+		if e.replica != "" && c.copyLive(e.replica, e.rEpoch) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a one-line summary.
+func (c *Cluster) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	alive := 0
+	for _, m := range c.members {
+		if m.alive {
+			alive++
+		}
+	}
+	return fmt.Sprintf("cluster{libraries: %d live / %d, keys: %d, ring v%d}",
+		alive, len(c.members), len(c.dir), c.ring.Version())
+}
+
+var _ gateway.API = (*Cluster)(nil)
+
+// replicaAccount reports whether an account name is the redundancy
+// namespace (used by tests and the audit tooling).
+func IsReplicaAccount(account string) bool { return strings.HasPrefix(account, replicaPrefix) }

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"silica/internal/gateway"
+)
+
+// LocalConfig builds an in-process cluster: N library shards, each a
+// private gateway.Gateway cloned from the template, behind one router.
+type LocalConfig struct {
+	// Libraries is the shard count (>= 1).
+	Libraries int
+	// Cluster shapes the router (seed, vnodes, metrics registry).
+	Cluster Config
+	// Gateway is the per-shard template. Each shard's copy gets a
+	// distinct service seed (template seed XOR shard index) so shards
+	// write distinct media streams, and its own persist subdirectory
+	// when PersistDir is set. Everything else — queues, watermarks,
+	// repair, backend — is per shard by construction.
+	Gateway gateway.Config
+	// PersistDir, when set, roots per-shard durability directories
+	// (PersistDir/lib-<i>); Gateway.Service.PersistDir is overridden.
+	PersistDir string
+}
+
+// libName names shard i.
+func libName(i int) string { return fmt.Sprintf("lib-%d", i) }
+
+// NewLocal builds the router and its N in-process libraries, and
+// installs a rebuild factory: RebuildLibrary(ctx, name, nil) replaces
+// a killed shard with a fresh, empty one (wiping its persist
+// subdirectory — the destroyed-library semantics of the drill).
+func NewLocal(lc LocalConfig) (*Cluster, error) {
+	if lc.Libraries < 1 {
+		return nil, fmt.Errorf("cluster: need at least one library, got %d", lc.Libraries)
+	}
+	c := New(lc.Cluster)
+	indexOf := make(map[string]int, lc.Libraries)
+	for i := 0; i < lc.Libraries; i++ {
+		indexOf[libName(i)] = i
+	}
+	build := func(name string, wipe bool) (Library, error) {
+		i, ok := indexOf[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+		}
+		cfg := lc.Gateway
+		cfg.Service.Seed = lc.Gateway.Service.Seed ^ uint64(i+1)<<32
+		cfg.Metrics = nil // each shard owns a private registry
+		if lc.PersistDir != "" {
+			dir := filepath.Join(lc.PersistDir, name)
+			if wipe {
+				if err := os.RemoveAll(dir); err != nil {
+					return nil, fmt.Errorf("cluster: wiping %s: %w", dir, err)
+				}
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			cfg.Service.PersistDir = dir
+		}
+		g, err := gateway.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building %s: %w", name, err)
+		}
+		return LocalLibrary{G: g}, nil
+	}
+	for i := 0; i < lc.Libraries; i++ {
+		lib, err := build(libName(i), false)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.AddLibrary(libName(i), lib); err != nil {
+			lib.Close()
+			c.Close()
+			return nil, err
+		}
+	}
+	c.makeLocal = func(name string) (Library, error) { return build(name, true) }
+	return c, nil
+}
+
+// NewRemote builds a router over peer silicad daemons: one
+// RemoteLibrary per URL, named by the URL. Peers get the retrying
+// client so router fan-out rides out transient 429/503s.
+func NewRemote(cfg Config, urls []string) (*Cluster, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one peer URL")
+	}
+	c := New(cfg)
+	for _, u := range urls {
+		cl := gateway.NewClient(u)
+		pol := gateway.DefaultRetryPolicy()
+		pol.Seed = cfg.Seed ^ hash64(cfg.Seed, u)
+		cl.Retry = pol
+		cl.Instrument(c.reg)
+		if err := c.AddLibrary(u, RemoteLibrary{C: cl}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

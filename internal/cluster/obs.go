@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"sync"
+
+	"silica/internal/obs"
+)
+
+// clusterMetrics is the silica_cluster_* family set. Routed-op
+// counters are cached per (library, class) so the hot path is one map
+// load + one atomic add.
+type clusterMetrics struct {
+	reg          *obs.Registry
+	routedCache  sync.Map // "lib\x00class" -> *obs.Counter
+	rebuildReads *obs.Counter
+	movedKeys    *obs.Counter
+	movedBytes   *obs.Counter
+	kills        *obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry, c *Cluster) *clusterMetrics {
+	cm := &clusterMetrics{
+		reg: reg,
+		rebuildReads: reg.Counter("silica_cluster_rebuild_reads_total",
+			"Cross-library redundancy-copy reads (primary holder dead or unreadable)."),
+		movedKeys: reg.Counter("silica_cluster_rebalance_moved_keys_total",
+			"Keys migrated by rebalance/rebuild passes."),
+		movedBytes: reg.Counter("silica_cluster_rebalance_moved_bytes_total",
+			"Bytes copied between libraries by rebalance/rebuild passes."),
+		kills: reg.Counter("silica_cluster_library_kills_total",
+			"Whole-library failures injected via KillLibrary."),
+	}
+	ringVersion := reg.Gauge("silica_cluster_ring_version",
+		"Consistent-hash ring version (increments on membership change).")
+	keys := reg.Gauge("silica_cluster_keys",
+		"Objects placed by the router (directory size).")
+	// Registered up front so the very first scrape's snapshot carries
+	// them (a gauge created inside the hook misses its own scrape).
+	aliveGauge := reg.Gauge("silica_cluster_libraries",
+		"Cluster members by liveness.", obs.L("state", "alive"))
+	deadGauge := reg.Gauge("silica_cluster_libraries",
+		"Cluster members by liveness.", obs.L("state", "dead"))
+	reg.OnScrape(func() {
+		c.mu.RLock()
+		ringVersion.Set(float64(c.ring.Version()))
+		keys.Set(float64(len(c.dir)))
+		alive, dead := 0, 0
+		for _, m := range c.members {
+			if m.alive {
+				alive++
+			} else {
+				dead++
+			}
+		}
+		c.mu.RUnlock()
+		aliveGauge.Set(float64(alive))
+		deadGauge.Set(float64(dead))
+	})
+	return cm
+}
+
+// routed counts one routed operation to a library.
+func (cm *clusterMetrics) routed(lib, class string) {
+	key := lib + "\x00" + class
+	if v, ok := cm.routedCache.Load(key); ok {
+		v.(*obs.Counter).Inc()
+		return
+	}
+	ctr := cm.reg.Counter("silica_cluster_routed_total",
+		"Operations routed to each library.",
+		obs.L("library", lib), obs.L("class", class))
+	cm.routedCache.Store(key, ctr)
+	ctr.Inc()
+}
+
+// routedTotal sums a library's routed ops across classes.
+func (cm *clusterMetrics) routedTotal(lib string) int64 {
+	var total int64
+	cm.routedCache.Range(func(k, v any) bool {
+		key := k.(string)
+		if len(key) > len(lib) && key[:len(lib)] == lib && key[len(lib)] == 0 {
+			total += v.(*obs.Counter).Value()
+		}
+		return true
+	})
+	return total
+}

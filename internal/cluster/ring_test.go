@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringWith(t *testing.T, seed uint64, libs ...string) *Ring {
+	t.Helper()
+	r := NewRing(seed, 0)
+	for _, lib := range libs {
+		if err := r.Add(lib); err != nil {
+			t.Fatalf("Add(%s): %v", lib, err)
+		}
+	}
+	return r
+}
+
+func libNames(n int) []string {
+	libs := make([]string, n)
+	for i := range libs {
+		libs[i] = fmt.Sprintf("lib-%d", i)
+	}
+	return libs
+}
+
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("acct-%d", rng.Intn(50)), fmt.Sprintf("obj-%06d", i))
+	}
+	return keys
+}
+
+// TestRingBalance bounds ownership imbalance: with DefaultVNodes
+// virtual nodes, every library's share of 20k keys stays within a
+// factor of two of the ideal 1/N, for several cluster sizes and seeds.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{2, 3, 5, 8} {
+		for _, seed := range []uint64{1, 7, 12345} {
+			r := ringWith(t, seed, libNames(n)...)
+			counts := map[string]int{}
+			for _, k := range keys {
+				counts[r.Owners(k, 1)[0]]++
+			}
+			ideal := float64(len(keys)) / float64(n)
+			for lib, c := range counts {
+				if got := float64(c); got < ideal/2 || got > ideal*2 {
+					t.Errorf("n=%d seed=%d: %s owns %d keys, ideal %.0f (outside [%.0f, %.0f])",
+						n, seed, lib, c, ideal, ideal/2, ideal*2)
+				}
+			}
+			// The analytic arc fractions must roughly agree with the
+			// empirical key counts and sum to 1.
+			var sum float64
+			for lib, f := range r.OwnershipFractions() {
+				sum += f
+				if f < 0.5/float64(n) || f > 2.0/float64(n) {
+					t.Errorf("n=%d seed=%d: %s arc fraction %.3f outside [%.3f, %.3f]",
+						n, seed, lib, f, 0.5/float64(n), 2.0/float64(n))
+				}
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("n=%d seed=%d: arc fractions sum to %.6f, want 1", n, seed, sum)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract: adding
+// a library moves keys only onto it (roughly 1/(N+1) of them), and
+// removing it moves exactly those keys back — no unrelated churn.
+func TestRingMinimalMovement(t *testing.T) {
+	const n = 4
+	keys := testKeys(10000)
+	r := ringWith(t, 99, libNames(n)...)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owners(k, 1)[0]
+	}
+
+	if err := r.Add("lib-new"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		now := r.Owners(k, 1)[0]
+		if now != before[k] {
+			moved++
+			if now != "lib-new" {
+				t.Fatalf("key %s moved %s -> %s, not to the added library", k, before[k], now)
+			}
+		}
+	}
+	ideal := float64(len(keys)) / float64(n+1)
+	if f := float64(moved); f < ideal/2 || f > ideal*2 {
+		t.Errorf("add moved %d keys, ideal %.0f (outside factor-2 band)", moved, ideal)
+	}
+
+	if err := r.Remove("lib-new"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if now := r.Owners(k, 1)[0]; now != before[k] {
+			t.Fatalf("key %s at %s after add+remove, originally %s", k, now, before[k])
+		}
+	}
+}
+
+// TestRingDeterminism pins restart stability: the same seed and member
+// set produce byte-identical routing regardless of insertion order or
+// ring instance, and Owners always returns distinct libraries.
+func TestRingDeterminism(t *testing.T) {
+	keys := testKeys(5000)
+	a := ringWith(t, 7, "lib-0", "lib-1", "lib-2", "lib-3")
+	b := ringWith(t, 7, "lib-3", "lib-1", "lib-0", "lib-2") // different order
+	diffSeed := ringWith(t, 8, "lib-0", "lib-1", "lib-2", "lib-3")
+	differs := 0
+	for _, k := range keys {
+		oa, ob := a.Owners(k, 2), b.Owners(k, 2)
+		if len(oa) != 2 || oa[0] == oa[1] {
+			t.Fatalf("Owners(%s, 2) = %v: want two distinct libraries", k, oa)
+		}
+		if oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("key %s routes %v vs %v across identically-seeded rings", k, oa, ob)
+		}
+		if oa[0] != diffSeed.Owners(k, 1)[0] {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Error("changing the seed changed no placements; seed is not folded into the hash")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -57,12 +58,32 @@ type Client struct {
 	retryCount *obs.Counter
 }
 
+// sharedTransport is one bounded connection pool for every Client in
+// the process. Router and rebuild paths fan requests out to many peer
+// daemons at once; per-client default transports would each grow their
+// own idle pools (and leak ephemeral ports under churn), so all
+// clients dial through this transport: connections to each peer are
+// reused up to MaxIdleConnsPerHost and reaped after IdleConnTimeout.
+var sharedTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   32,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ResponseHeaderTimeout: 60 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
 // NewClient returns a client for a gateway at baseURL
-// (e.g. "http://127.0.0.1:7070").
+// (e.g. "http://127.0.0.1:7070"). All clients share one bounded
+// transport; replace c.HTTP for custom transport behavior.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 60 * time.Second},
+		HTTP:    &http.Client{Timeout: 60 * time.Second, Transport: sharedTransport},
 	}
 }
 

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke cluster-smoke bench bench-diff clean
+.PHONY: all tier1 tier2 build test vet race smoke repair-smoke obs-smoke crash-smoke twin-smoke cluster-smoke cluster-crash bench bench-diff clean
 
 all: tier1
 
@@ -92,11 +92,29 @@ twin-smoke:
 # libraries behind the consistent-hash router, destroy one entire
 # library mid-run, rebuild a fresh member from the cross-library
 # redundancy copies, and require the byte-exact audit to find every
-# acknowledged object intact. Then run the package's acceptance test.
+# acknowledged object intact. Then kill -9 the router itself mid-run
+# (-kill-router): its placement log freezes, a successor recovers the
+# directory from -persist-dir/router, and the audit runs against the
+# successor. Then run the package's acceptance test.
 cluster-smoke:
 	$(GO) run ./cmd/silica-load -cluster 3 -kill-library \
 		-clients 16 -ops 12 -read-frac 0.35 -object-bytes 1536 -retries 12
+	rm -rf /tmp/silica-cluster-smoke && \
+	$(GO) run ./cmd/silica-load -cluster 3 -kill-router \
+		-persist-dir /tmp/silica-cluster-smoke \
+		-clients 16 -ops 12 -read-frac 0.35 -object-bytes 1536 -retries 12
 	$(GO) test ./internal/cluster -run 'TestClusterKillLibraryE2E' -v -timeout 300s
+
+# Router crash-recovery smoke: the cluster analogue of crash-smoke.
+# In-process drills (armed kill points freezing the router log on a
+# placement and on a delete, successor recovery, seed-mismatch
+# refusal) plus the subprocess drill (silicad -cluster killed at a
+# placement append via a fault rule, exit 137, restart from
+# -persist-dir, byte-exact HTTP audit).
+cluster-crash:
+	SILICA_CRASH_SMOKE=1 $(GO) test ./internal/cluster \
+		-run 'TestClusterRouter|TestClusterRestart|TestClusterSeedMismatch|TestCrashSmokeClusterRouter' \
+		-v -timeout 600s
 
 # Codec benchmarks: GF(256) kernels, the word-packed per-sector
 # encode/decode (hard-decision fast path and the forced-BP soft path),

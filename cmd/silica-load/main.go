@@ -22,6 +22,14 @@
 // cross-library redundancy copies, a fresh library is rebuilt in its
 // place, and the audit must still find every acknowledged object
 // byte-exact.
+//
+// -kill-router (cluster mode, needs -persist-dir) escalates once more:
+// the router itself dies mid-run — its placement log freezes exactly as
+// under kill -9, so nothing un-synced can be acked — and a successor
+// router recovers the directory from -persist-dir/router, re-attaches
+// the still-running libraries, and takes over serving. The byte-exact
+// audit then runs against the successor: every write the dead router
+// acknowledged must come back intact.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"silica/internal/cluster"
@@ -65,6 +74,7 @@ func main() {
 		killPlatter   = flag.Bool("kill-platter", false, "in-process mode: fail a set member mid-run; scrubber must detect, rebuild must restore it")
 		clusterN      = flag.Int("cluster", 0, "in-process mode: shard across N libraries behind the consistent-hash router")
 		killLibrary   = flag.Bool("kill-library", false, "cluster mode: destroy an entire library mid-run; reads must fail over to cross-library redundancy and the rebuild must restore it")
+		killRouter    = flag.Bool("kill-router", false, "cluster mode: kill -9 the router mid-run (persist log freezes), recover a successor from -persist-dir, and audit every acked object against it")
 		rebuildWait   = flag.Duration("rebuild-wait", 60*time.Second, "max wait for the killed platter's rebuild before verification")
 		clientRetry   = flag.Bool("client-retry", false, "-url mode: retry 429/503 inside the HTTP client (jittered backoff, honors Retry-After)")
 		faultSeed     = flag.Uint64("fault-seed", 0, "in-process mode: seed for probabilistic fault triggers")
@@ -97,6 +107,24 @@ func main() {
 	if *clusterN > 0 && *killPlatter {
 		fmt.Fprintln(os.Stderr, "-kill-platter and -cluster are separate drills; pick one")
 		os.Exit(2)
+	}
+	if *killRouter {
+		if *clusterN < 1 || *persistDir == "" {
+			fmt.Fprintln(os.Stderr, "-kill-router needs -cluster N and -persist-dir (the successor recovers from the router log)")
+			os.Exit(2)
+		}
+		if *killLibrary {
+			fmt.Fprintln(os.Stderr, "-kill-router and -kill-library are separate drills; pick one")
+			os.Exit(2)
+		}
+		if *deleteFrac > 0 {
+			// A delete that crashed between its durable tombstone and its
+			// ack reads as gone on the successor while the client still
+			// holds the bytes — a spurious Lost the audit cannot tell from
+			// a real one. The router crash drill is a write/read drill.
+			fmt.Fprintln(os.Stderr, "-kill-router needs -delete-frac 0 (unacked deletes are indistinguishable from loss in the audit)")
+			os.Exit(2)
+		}
 	}
 
 	var api gateway.API
@@ -150,7 +178,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			defer cl.Close()
+			defer func() { cl.Close() }() // late-bound: -kill-router swaps cl to the successor
 			api = cl
 			fmt.Printf("in-process cluster: %d libraries, %d clients x %d ops, %d-byte objects\n",
 				*clusterN, lc.Clients, lc.OpsPerClient, lc.ObjectBytes)
@@ -178,8 +206,30 @@ func main() {
 		go killLibraryShard(cl, victim, *clients)
 		lc.BeforeVerify = func() { awaitLibraryRebuild(cl, victim, *rebuildWait) }
 	}
+	var proxy *routerProxy
+	if *killRouter {
+		proxy = &routerProxy{cl: cl}
+		api = proxy
+		done := make(chan struct{})
+		go killRouterDrill(proxy, *persistDir, *seed, *clients, done)
+		lc.BeforeVerify = func() {
+			select {
+			case <-done:
+			case <-time.After(*rebuildWait):
+				fmt.Fprintln(os.Stderr, "FAIL: router crash drill did not complete in time")
+				os.Exit(1)
+			}
+		}
+	}
 
 	rep := gateway.RunLoad(api, lc)
+	if proxy != nil {
+		// The audit above already ran against the successor (the proxy
+		// swapped mid-run); report and close the successor, not the corpse.
+		old := cl
+		cl = proxy.cur()
+		old.Close()
+	}
 	fmt.Print(rep)
 	samples, serr := scrapeMetrics(api, g, cl)
 	if serr != nil {
@@ -419,6 +469,76 @@ func awaitLibraryRebuild(cl *cluster.Cluster, victim <-chan string, wait time.Du
 		fmt.Fprintln(os.Stderr, "FAIL: cluster still degraded after library rebuild")
 		os.Exit(1)
 	}
+}
+
+// routerProxy routes gateway.API calls at whatever router is current,
+// so the load generator rides through a mid-run router replacement the
+// way retrying HTTP clients ride through a silicad restart: ops that
+// raced the crash fail (they were never acked), ops arriving during
+// the swap block until the successor is serving.
+type routerProxy struct {
+	mu sync.RWMutex
+	cl *cluster.Cluster
+}
+
+func (p *routerProxy) cur() *cluster.Cluster {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cl
+}
+
+func (p *routerProxy) Put(account, name string, data []byte) (int, error) {
+	return p.cur().Put(account, name, data)
+}
+func (p *routerProxy) Get(account, name string) ([]byte, error) {
+	return p.cur().Get(account, name)
+}
+func (p *routerProxy) Delete(account, name string) error {
+	return p.cur().Delete(account, name)
+}
+func (p *routerProxy) Flush() error { return p.cur().Flush() }
+
+// killRouterDrill waits for the run to place enough keys, then crashes
+// the router: CrashPersist freezes its placement log exactly as kill -9
+// would (no un-synced ack can escape), the member libraries are
+// detached — they never died — and a successor router recovers the
+// directory from the persist log, re-attaches the members, and takes
+// over the proxy. Writes that raced the crash fail and are retried by
+// the load generator against the successor.
+func killRouterDrill(p *routerProxy, persistDir string, seed uint64, clients int, done chan<- struct{}) {
+	old := p.cur()
+	threshold := clients / 4
+	if threshold < 1 {
+		threshold = 1
+	}
+	for old.Keys() < threshold {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Hold the swap lock across the crash: ops already inside the old
+	// router race the freeze (and fail unacked, as under a real kill -9);
+	// new ops queue until the successor is serving.
+	p.mu.Lock()
+	old.CrashPersist()
+	handles := old.Detach()
+	fmt.Printf("kill: crashed router mid-run (log frozen at %d keys); recovering from %s\n",
+		old.Keys(), cluster.RouterPersistDir(persistDir))
+	succ, err := cluster.New(cluster.Config{Seed: seed, PersistDir: cluster.RouterPersistDir(persistDir)})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: successor router: %v\n", err)
+		os.Exit(1)
+	}
+	for name, lib := range handles {
+		if err := succ.AddLibrary(name, lib); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: re-attaching %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	p.cl = succ
+	p.mu.Unlock()
+	st := succ.Status()
+	fmt.Printf("recover: successor router serving %d keys across %d libraries\n",
+		st.Keys, len(st.Libraries))
+	close(done)
 }
 
 // printClusterSummary reports ring placement and redundancy accounting

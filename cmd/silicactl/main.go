@@ -18,9 +18,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -275,19 +277,32 @@ func printClusterTop(samples []obs.PromSample) {
 
 // clusterCmd renders a cluster router's GET /v1/cluster: ring
 // ownership, per-library serving state, and redundancy placement.
+// -rebalance runs a reconcile pass first (POST /v1/cluster/rebalance)
+// and prints its report, including the aggregated per-key errors.
 func clusterCmd(args []string) {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	url := fs.String("url", "http://127.0.0.1:7070", "cluster router base URL")
+	rebalance := fs.Bool("rebalance", false, "run a reconcile pass before reporting")
+	workers := fs.Int("workers", 0, "rebalance parallelism (0 = router default)")
 	fs.Parse(args)
+	rebalanceFailed := false
+	if *rebalance {
+		rebalanceFailed = runRebalance(*url, *workers)
+	}
 	st, err := cluster.FetchStatus(nil, *url)
 	check(err)
 
-	fmt.Printf("cluster — %s (ring v%d, seed %d, %d vnodes/library)\n\n",
+	durability := "in-memory directory (lost on router restart)"
+	if st.Persist {
+		durability = "durable directory (recovers across router restarts)"
+	}
+	fmt.Printf("cluster — %s (ring v%d, seed %d, %d vnodes/library)\n",
 		*url, st.RingVersion, st.Seed, st.VNodes)
+	fmt.Printf("persist   %s\n\n", durability)
 	fmt.Printf("keys      %d placed: %d fully replicated, %d unprotected\n",
 		st.Keys, st.Replicated, st.Unprotected)
-	fmt.Printf("activity  %d cross-library rebuild reads, %d keys / %s moved by rebalance\n\n",
-		st.RebuildReads, st.MovedKeys, fmtBytes(float64(st.MovedBytes)))
+	fmt.Printf("activity  %d cross-library rebuild reads, %d keys / %s moved by rebalance, %d rebalance errors\n\n",
+		st.RebuildReads, st.MovedKeys, fmtBytes(float64(st.MovedBytes)), st.RebalanceErrors)
 	fmt.Printf("%-12s %-6s %6s %9s %9s %8s %9s %10s %8s\n",
 		"library", "state", "own%", "primaries", "replicas", "routed", "in-flight", "staging", "flushes")
 	for _, l := range st.Libraries {
@@ -301,6 +316,38 @@ func clusterCmd(args []string) {
 			l.Name, state, 100*l.Frac, l.PrimaryKeys, l.ReplicaKeys, l.Routed,
 			l.State.InFlight, fmtBytes(float64(l.State.Staging.Used)), l.State.Flushes)
 	}
+	if rebalanceFailed {
+		os.Exit(1)
+	}
+}
+
+// runRebalance posts /v1/cluster/rebalance and prints the report. A
+// report with per-key errors still prints — the aggregation is the
+// feature — but exits nonzero so scripts notice.
+func runRebalance(url string, workers int) bool {
+	target := url + "/v1/cluster/rebalance"
+	if workers > 0 {
+		target += fmt.Sprintf("?workers=%d", workers)
+	}
+	resp, err := http.Post(target, "application/json", nil)
+	check(err)
+	defer resp.Body.Close()
+	var rep cluster.RebalanceReport
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		check(fmt.Errorf("rebalance: http %d: %s", resp.StatusCode, e.Error))
+	}
+	check(json.NewDecoder(resp.Body).Decode(&rep))
+	fmt.Printf("rebalance %d keys examined, %d moved (%s), %d lost, %d errors\n",
+		rep.KeysExamined, rep.KeysMoved, fmtBytes(float64(rep.BytesMoved)), rep.Lost, rep.Errors)
+	for _, s := range rep.ErrorSamples {
+		fmt.Printf("  error   %s\n", s)
+	}
+	fmt.Println()
+	return rep.Errors > 0
 }
 
 // printBackend renders the media backend's mechanical telemetry: the

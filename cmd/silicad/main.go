@@ -69,6 +69,7 @@ import (
 
 	"silica/internal/backend"
 	"silica/internal/cluster"
+	"silica/internal/faults"
 	"silica/internal/gateway"
 )
 
@@ -206,7 +207,32 @@ func main() {
 // shards (-cluster) or a fleet of peer daemons (-peers), behind one
 // consistent-hash placement layer with cross-library redundancy.
 func runCluster(cfg gateway.Config, listen string, n int, peers string, seed uint64, vnodes int, persistDir string, retryAfter time.Duration) {
-	ccfg := cluster.Config{Seed: seed, VNodes: vnodes, RetryAfter: retryAfter}
+	ccfg := cluster.Config{
+		Seed:                 seed,
+		VNodes:               vnodes,
+		RetryAfter:           retryAfter,
+		PersistSnapshotEvery: int64(cfg.Service.PersistSnapshotEvery),
+	}
+	// The router gets its own injector: -fault rules naming cluster.*
+	// ops fire on the placement/membership log appends (shard-level
+	// rules still arm inside each library via the gateway template).
+	rinj := faults.New(cfg.FaultSeed)
+	for _, r := range cfg.FaultRules {
+		if err := rinj.ArmString(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	ccfg.Faults = rinj
+	if persistDir != "" {
+		// Kill-mode rules on router ops exit abruptly — the crash-drill
+		// stand-in for kill -9 of the router process. 137 mirrors SIGKILL.
+		rinj.SetKill(func() {
+			log.Printf("fault injection: router kill point reached, exiting")
+			os.Exit(137)
+		})
+		log.Printf("router persistence enabled: %s", cluster.RouterPersistDir(persistDir))
+	}
 	var c *cluster.Cluster
 	var err error
 	if n > 0 {
@@ -221,6 +247,9 @@ func runCluster(cfg gateway.Config, listen string, n int, peers string, seed uin
 			log.Printf("cluster router: %d in-process libraries, ring seed %d", n, seed)
 		}
 	} else {
+		if persistDir != "" {
+			ccfg.PersistDir = cluster.RouterPersistDir(persistDir)
+		}
 		urls := strings.Split(peers, ",")
 		for i := range urls {
 			urls[i] = strings.TrimSpace(urls[i])

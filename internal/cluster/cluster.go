@@ -7,11 +7,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"silica/internal/faults"
 	"silica/internal/gateway"
 	"silica/internal/metadata"
 	"silica/internal/obs"
+	"silica/internal/persist"
 	"silica/internal/staging"
 )
 
@@ -26,6 +29,10 @@ var ErrNoLibraries = errors.New("cluster: no live libraries")
 
 // ErrUnknownLibrary names a member the cluster has never seen.
 var ErrUnknownLibrary = errors.New("cluster: unknown library")
+
+// ErrLibraryClosed is returned by a RemoteLibrary after Close: the
+// router has released the member and no longer routes to it.
+var ErrLibraryClosed = errors.New("cluster: remote library closed")
 
 // LibraryState is one member's serving-stack summary for /v1/cluster.
 type LibraryState struct {
@@ -82,24 +89,59 @@ func (l LocalLibrary) State() LibraryState {
 // RemoteLibrary is a peer silicad reached over HTTP. The shared
 // bounded transport in gateway.Client keeps rebuild/router fan-out on
 // pooled connections; the retry policy rides out transient 429/503s.
-type RemoteLibrary struct{ C *gateway.Client }
+// Close does not touch the peer daemon — its lifecycle is not the
+// router's — but it does release the router's side of the
+// relationship: idle pooled connections are reaped and every later
+// call fails with ErrLibraryClosed, so a "closed" member can never be
+// silently routed to again.
+type RemoteLibrary struct {
+	C      *gateway.Client
+	closed atomic.Bool
+}
 
-func (r RemoteLibrary) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+// NewRemoteLibrary wraps a client as a cluster member.
+func NewRemoteLibrary(c *gateway.Client) *RemoteLibrary { return &RemoteLibrary{C: c} }
+
+func (r *RemoteLibrary) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	if r.closed.Load() {
+		return 0, ErrLibraryClosed
+	}
 	return r.C.PutCtx(ctx, account, name, data)
 }
-func (r RemoteLibrary) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+func (r *RemoteLibrary) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	if r.closed.Load() {
+		return nil, ErrLibraryClosed
+	}
 	return r.C.GetCtx(ctx, account, name)
 }
-func (r RemoteLibrary) DeleteCtx(ctx context.Context, account, name string) error {
+func (r *RemoteLibrary) DeleteCtx(ctx context.Context, account, name string) error {
+	if r.closed.Load() {
+		return ErrLibraryClosed
+	}
 	return r.C.DeleteCtx(ctx, account, name)
 }
-func (r RemoteLibrary) Flush() error { return r.C.Flush() }
+func (r *RemoteLibrary) Flush() error {
+	if r.closed.Load() {
+		return ErrLibraryClosed
+	}
+	return r.C.Flush()
+}
 
-// Close is a no-op: a peer daemon's lifecycle is not the router's.
-func (r RemoteLibrary) Close() error { return nil }
+// Close marks the member unreachable and releases the client's idle
+// pooled connections. Idempotent.
+func (r *RemoteLibrary) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.C.CloseIdle()
+	return nil
+}
 
-func (r RemoteLibrary) State() LibraryState {
+func (r *RemoteLibrary) State() LibraryState {
 	st := LibraryState{}
+	if r.closed.Load() {
+		return st
+	}
 	hz, err := r.C.Healthz()
 	if err != nil {
 		return st
@@ -138,6 +180,10 @@ type entry struct {
 	pEpoch, rEpoch   uint64
 	version          int
 	size             int64
+	// deleting marks recorded delete intent: reads treat the object as
+	// gone, and a retry or reconcile pass finishes removing the copies
+	// before the entry is dropped. Survives restarts (RecDirTombstone).
+	deleting bool
 }
 
 // Config shapes a cluster router.
@@ -152,6 +198,27 @@ type Config struct {
 	Metrics *obs.Registry
 	// RetryAfter is the backoff hint for the router's 429/503 responses.
 	RetryAfter time.Duration
+	// PersistDir, when set, gives the router its own durability log:
+	// every placement, delete intent/completion, and membership change
+	// is appended and fsynced before the operation is acknowledged, and
+	// New recovers the directory, member epochs, and ring configuration
+	// from it. (Each member's payload durability is its own persist
+	// directory; this log holds only where the copies live.)
+	PersistDir string
+	// PersistSnapshotEvery is the WAL-records-per-snapshot threshold
+	// (0 = default 4096).
+	PersistSnapshotEvery int64
+	// Faults, when non-nil, arms the cluster.place / cluster.delete /
+	// cluster.member injection points on the durability path, plus the
+	// persist.* points inside the router's own log.
+	Faults *faults.Injector
+	// RebalanceWorkers bounds the parallel reconcile walk
+	// (0 = default 4).
+	RebalanceWorkers int
+	// RebalanceThrottle is the per-key pause a rebalance worker takes
+	// while foreground requests are in flight (0 = default 200µs,
+	// negative = no throttle).
+	RebalanceThrottle time.Duration
 }
 
 // Cluster is the placement/router tier. Create with New, add members
@@ -172,12 +239,27 @@ type Cluster struct {
 	// makeLocal rebuilds a destroyed local member (set by NewLocal).
 	makeLocal func(name string) (Library, error)
 
+	// plog is the router's own durability log (nil without PersistDir);
+	// see persist.go for the wiring.
+	plog     *persist.Log
+	snapMu   sync.Mutex  // serializes snapshot cycles (threshold vs Close)
+	snapping atomic.Bool // at most one threshold snapshot in flight
+	closed   atomic.Bool
+
+	// fgOps counts foreground requests in flight — the rebalance
+	// throttle's admission signal.
+	fgOps atomic.Int64
+
 	reg *obs.Registry
 	cm  *clusterMetrics
 }
 
-// New builds an empty cluster router; add members with AddLibrary.
-func New(cfg Config) *Cluster {
+// New builds a cluster router; add members with AddLibrary. With
+// cfg.PersistDir set, New first recovers the previous incarnation's
+// directory, membership, and ring from the router log — recovered
+// members exist (with their liveness and epochs) but have no serving
+// handle until AddLibrary attaches one.
+func New(cfg Config) (*Cluster, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
@@ -194,7 +276,10 @@ func New(cfg Config) *Cluster {
 		reg:     reg,
 	}
 	c.cm = newClusterMetrics(reg, c)
-	return c
+	if err := c.openPersist(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Metrics exposes the router's registry (the silica_cluster_* families).
@@ -202,18 +287,27 @@ func (c *Cluster) Metrics() *obs.Registry { return c.reg }
 
 // AddLibrary registers a member and puts it on the ring. Existing keys
 // are not moved; call Rebalance to migrate the ranges the new member
-// now owns.
+// now owns. For a member recovered from the router log, AddLibrary
+// attaches the serving handle to the existing row — liveness and
+// epoch were replayed, so no new record is appended.
 func (c *Cluster) AddLibrary(name string, lib Library) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.members[name]; ok {
-		return fmt.Errorf("cluster: library %q already a member", name)
+	if m, ok := c.members[name]; ok {
+		if m.lib != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: library %q already a member", name)
+		}
+		m.lib = lib
+		c.mu.Unlock()
+		return nil
 	}
 	if err := c.ring.Add(name); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	c.members[name] = &member{name: name, lib: lib, alive: true}
-	return nil
+	c.mu.Unlock()
+	return c.logAppend(faults.OpClusterMember, &persist.RecMember{Name: name, Alive: true, Epoch: 0})
 }
 
 // stripe returns the per-key mutex for a ring key.
@@ -268,6 +362,8 @@ func (c *Cluster) Put(account, name string, data []byte) (int, error) {
 
 // PutCtx is Put under the caller's ctx.
 func (c *Cluster) PutCtx(ctx context.Context, account, name string, data []byte) (int, error) {
+	c.fgOps.Add(1)
+	defer c.fgOps.Add(-1)
 	key := Key(account, name)
 	st := c.stripe(key)
 	st.Lock()
@@ -311,6 +407,17 @@ func (c *Cluster) PutCtx(ctx context.Context, account, name string, data []byte)
 	c.mu.Lock()
 	c.dir[key] = e
 	c.mu.Unlock()
+	// After-mutate, before-ack: the write is not acknowledged until its
+	// placement record is durable, so every acked key survives a router
+	// restart.
+	if err := c.logAppend(faults.OpClusterPlace, &persist.RecDirPlace{
+		Account: account, Name: name,
+		Primary: e.primary, Replica: e.replica,
+		PEpoch: e.pEpoch, REpoch: e.rEpoch,
+		Version: e.version, Size: e.size,
+	}); err != nil {
+		return 0, fmt.Errorf("cluster: placement record for %s/%s: %w", account, name, err)
+	}
 	return version, nil
 }
 
@@ -322,8 +429,14 @@ func (c *Cluster) Get(account, name string) ([]byte, error) {
 	return c.GetCtx(context.Background(), account, name)
 }
 
-// GetCtx is Get under the caller's ctx.
+// GetCtx is Get under the caller's ctx. A primary-side ErrNotFound is
+// NOT terminal: the replica may still hold the object (a partially
+// failed delete, or primary-side loss within the same epoch), so the
+// read falls through and only reports NotFound when every reachable
+// copy-holder agrees the object is gone.
 func (c *Cluster) GetCtx(ctx context.Context, account, name string) ([]byte, error) {
+	c.fgOps.Add(1)
+	defer c.fgOps.Add(-1)
 	key := Key(account, name)
 	c.mu.RLock()
 	e, ok := c.dir[key]
@@ -337,32 +450,55 @@ func (c *Cluster) GetCtx(ctx context.Context, account, name string) ([]byte, err
 		}
 	}
 	c.mu.RUnlock()
-	if !ok {
+	if !ok || ent.deleting {
+		// A tombstoned entry is already deleted from the reader's point
+		// of view; only the copy cleanup is outstanding.
 		return nil, fmt.Errorf("%w: %s/%s", metadata.ErrNotFound, account, name)
 	}
 
 	var firstErr error
+	consulted, notFound := 0, 0
 	if primary != nil {
+		consulted++
 		data, err := primary.GetCtx(ctx, account, name)
 		if err == nil {
 			c.cm.routed(ent.primary, "get")
 			return data, nil
 		}
-		if errors.Is(err, metadata.ErrNotFound) || ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return nil, err
 		}
-		firstErr = err
+		if errors.Is(err, metadata.ErrNotFound) {
+			notFound++
+		} else {
+			firstErr = err
+		}
 	}
 	if replica != nil {
+		consulted++
 		data, err := replica.GetCtx(ctx, replicaPrefix+account, name)
 		if err == nil {
 			c.cm.routed(ent.replica, "get")
 			c.cm.rebuildReads.Inc()
 			return data, nil
 		}
-		if firstErr == nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if errors.Is(err, metadata.ErrNotFound) {
+			notFound++
+		} else if firstErr == nil {
 			firstErr = err
 		}
+	}
+	// 404 only when every recorded copy was reachable and said NotFound.
+	// NotFound from one side while the other is dead or erroring is a
+	// half-observed state, not evidence the object is gone; the real
+	// error (kept out of the NotFound join so writeErr cannot map it to
+	// 404) or an unreadable report surfaces instead.
+	if firstErr == nil && consulted > 0 && notFound == consulted &&
+		primary != nil && (ent.replica == "" || replica != nil) {
+		return nil, fmt.Errorf("%w: %s/%s on every copy-holder", metadata.ErrNotFound, account, name)
 	}
 	if firstErr == nil {
 		firstErr = ErrNoLibraries
@@ -376,8 +512,16 @@ func (c *Cluster) Delete(account, name string) error {
 	return c.DeleteCtx(context.Background(), account, name)
 }
 
-// DeleteCtx is Delete under the caller's ctx.
+// DeleteCtx is Delete under the caller's ctx. The protocol is
+// idempotent and resumable: intent is recorded first (tombstone — from
+// here the object reads as gone), then both copies are removed, then
+// the entry is dropped. A failure on either side leaves the
+// tombstoned entry in place; a retried delete (or a reconcile pass)
+// picks up where this one stopped instead of stranding a half-deleted
+// key forever.
 func (c *Cluster) DeleteCtx(ctx context.Context, account, name string) error {
+	c.fgOps.Add(1)
+	defer c.fgOps.Add(-1)
 	key := Key(account, name)
 	st := c.stripe(key)
 	st.Lock()
@@ -398,21 +542,48 @@ func (c *Cluster) DeleteCtx(ctx context.Context, account, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s/%s", metadata.ErrNotFound, account, name)
 	}
+
+	if !ent.deleting {
+		c.mu.Lock()
+		if cur, ok := c.dir[key]; ok {
+			cur.deleting = true
+		}
+		c.mu.Unlock()
+		if err := c.logAppend(faults.OpClusterDelete, &persist.RecDirTombstone{Account: account, Name: name}); err != nil {
+			return fmt.Errorf("cluster: delete intent for %s/%s: %w", account, name, err)
+		}
+	}
+
+	// Remove every reachable copy; NotFound means a previous attempt
+	// already got there. Copies on dead or rebuilt (stale-epoch) members
+	// died with their incarnation.
+	var errs []error
 	if primary != nil {
 		if err := primary.DeleteCtx(ctx, account, name); err != nil && !errors.Is(err, metadata.ErrNotFound) {
-			return err
+			errs = append(errs, fmt.Errorf("primary %s: %w", ent.primary, err))
+		} else {
+			c.cm.routed(ent.primary, "delete")
 		}
-		c.cm.routed(ent.primary, "delete")
 	}
 	if replica != nil {
 		if err := replica.DeleteCtx(ctx, replicaPrefix+account, name); err != nil && !errors.Is(err, metadata.ErrNotFound) {
-			return err
+			errs = append(errs, fmt.Errorf("replica %s: %w", ent.replica, err))
+		} else {
+			c.cm.routed(ent.replica, "delete")
 		}
-		c.cm.routed(ent.replica, "delete")
 	}
+	if len(errs) > 0 {
+		return fmt.Errorf("cluster: delete %s/%s incomplete, retry resumes: %w", account, name, errors.Join(errs...))
+	}
+
 	c.mu.Lock()
 	delete(c.dir, key)
 	c.mu.Unlock()
+	if err := c.logAppend(faults.OpClusterDelete, &persist.RecDirDelete{Account: account, Name: name}); err != nil {
+		// The copies are gone and the tombstone is durable: a replayed
+		// restart recovers a deleting entry that reconcile finishes.
+		return fmt.Errorf("cluster: delete record for %s/%s: %w", account, name, err)
+	}
 	return nil
 }
 
@@ -423,7 +594,9 @@ func (c *Cluster) Flush() error {
 	c.mu.RLock()
 	libs := make([]Library, 0, len(c.members))
 	for _, m := range c.members {
-		if m.alive {
+		// Recovered-but-unattached (and detached) members have no handle;
+		// there is nothing of theirs to drain from here.
+		if m.alive && m.lib != nil {
 			libs = append(libs, m.lib)
 		}
 	}
@@ -462,13 +635,16 @@ func (c *Cluster) KillLibrary(name string) error {
 	err := c.ring.Remove(name)
 	lib := m.lib
 	m.lib = nil
+	epoch := m.epoch
 	c.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	c.cm.kills.Inc()
-	go lib.Close()
-	return nil
+	if lib != nil { // recovered members may die again before re-attaching
+		go lib.Close()
+	}
+	return c.logAppend(faults.OpClusterMember, &persist.RecMember{Name: name, Alive: false, Epoch: epoch})
 }
 
 // DrainLibrary migrates everything off a member, then closes it and
@@ -495,6 +671,9 @@ func (c *Cluster) DrainLibrary(ctx context.Context, name string) (RebalanceRepor
 	m.lib = nil
 	delete(c.members, name)
 	c.mu.Unlock()
+	if lerr := c.logAppend(faults.OpClusterMember, &persist.RecMemberRemove{Name: name}); rerr == nil {
+		rerr = lerr
+	}
 	if lib != nil {
 		if cerr := lib.Close(); rerr == nil {
 			rerr = cerr
@@ -544,27 +723,56 @@ func (c *Cluster) RebuildLibrary(ctx context.Context, name string, lib Library) 
 	m.lib = lib
 	m.alive = true
 	m.epoch++ // old-epoch copies recorded against this name are gone
+	epoch := m.epoch
 	err := c.ring.Add(name)
 	c.mu.Unlock()
 	if err != nil {
 		return RebalanceReport{}, err
 	}
+	if err := c.logAppend(faults.OpClusterMember, &persist.RecMember{Name: name, Alive: true, Epoch: epoch}); err != nil {
+		return RebalanceReport{}, err
+	}
 	return c.Rebalance(ctx)
 }
 
-// RebalanceReport summarizes one reconciliation pass.
+// RebalanceReport summarizes one reconciliation pass. Errors counts
+// every per-key failure (not just the first); ErrorSamples carries up
+// to maxErrorSamples of them, in key order, for the HTTP surface and
+// silicactl.
 type RebalanceReport struct {
-	KeysExamined int   `json:"keys_examined"`
-	KeysMoved    int   `json:"keys_moved"`
-	BytesMoved   int64 `json:"bytes_moved"`
-	Lost         int   `json:"lost"` // keys with no surviving copy
+	KeysExamined int      `json:"keys_examined"`
+	KeysMoved    int      `json:"keys_moved"`
+	BytesMoved   int64    `json:"bytes_moved"`
+	Lost         int      `json:"lost"` // keys with no surviving copy
+	Errors       int      `json:"errors"`
+	ErrorSamples []string `json:"error_samples,omitempty"`
 }
+
+const (
+	maxErrorSamples          = 8
+	defaultRebalanceWorkers  = 4
+	defaultRebalanceThrottle = 200 * time.Microsecond
+)
 
 // Rebalance walks the directory and reconciles every key against the
 // current ring: copies move onto the libraries that now own them and
 // leave the ones that no longer do. Only keys whose placement changed
 // are touched — the minimal-movement property the ring tests pin.
 func (c *Cluster) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	return c.RebalanceN(ctx, 0)
+}
+
+// RebalanceN is Rebalance over an explicit worker count (0 = the
+// configured default). Workers pull keys from a shared cursor in
+// sorted order; each key's move is serialized against concurrent
+// writes by its stripe lock, and no state is shared between keys, so
+// workers=1 and workers=N leave byte-identical placement — parallelism
+// only changes the interleaving across different keys. A per-key
+// failure does not stop the walk: every error is aggregated with
+// errors.Join and counted in the report. While foreground requests
+// are in flight, each worker pauses RebalanceThrottle per key so the
+// maintenance walk yields to admission.
+func (c *Cluster) RebalanceN(ctx context.Context, workers int) (RebalanceReport, error) {
 	var rep RebalanceReport
 	c.mu.RLock()
 	keys := make([]string, 0, len(c.dir))
@@ -573,29 +781,87 @@ func (c *Cluster) Rebalance(ctx context.Context) (RebalanceReport, error) {
 	}
 	c.mu.RUnlock()
 	sort.Strings(keys) // deterministic migration order
-	var firstErr error
-	for _, key := range keys {
-		if err := ctx.Err(); err != nil {
-			return rep, err
+	if workers <= 0 {
+		workers = c.cfg.RebalanceWorkers
+	}
+	if workers <= 0 {
+		workers = defaultRebalanceWorkers
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	throttle := c.cfg.RebalanceThrottle
+	if throttle == 0 {
+		throttle = defaultRebalanceThrottle
+	}
+
+	type keyResult struct {
+		examined bool
+		moved    bool
+		bytes    int64
+		err      error
+	}
+	results := make([]keyResult, len(keys))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(keys) || ctx.Err() != nil {
+					return
+				}
+				if throttle > 0 && c.fgOps.Load() > 0 {
+					time.Sleep(throttle)
+				}
+				moved, bytes, err := c.reconcileKey(ctx, keys[i])
+				results[i] = keyResult{examined: true, moved: moved, bytes: bytes, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reduce in key order: the report and the joined error are
+	// deterministic regardless of worker interleaving. A key the cursor
+	// never reached (cancellation) is untouched and uncounted.
+	var errs []error
+	for i, r := range results {
+		if !r.examined {
+			continue
 		}
-		moved, bytes, err := c.reconcileKey(ctx, key)
 		rep.KeysExamined++
-		if moved {
+		if r.moved {
 			rep.KeysMoved++
-			rep.BytesMoved += bytes
+			rep.BytesMoved += r.bytes
 			c.cm.movedKeys.Inc()
-			c.cm.movedBytes.Add(bytes)
+			c.cm.movedBytes.Add(r.bytes)
 		}
-		if err != nil {
-			if errors.Is(err, errNoCopy) {
+		if r.err != nil {
+			if errors.Is(r.err, errNoCopy) {
 				rep.Lost++
 			}
-			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: rebalance %s: %w", key, err)
-			}
+			errs = append(errs, fmt.Errorf("cluster: rebalance %s: %w", keys[i], r.err))
 		}
 	}
-	return rep, firstErr
+	rep.Errors = len(errs)
+	for i, e := range errs {
+		if i == maxErrorSamples {
+			break
+		}
+		rep.ErrorSamples = append(rep.ErrorSamples, e.Error())
+	}
+	if rep.Errors > 0 {
+		c.cm.rebalanceErrors.Add(int64(rep.Errors))
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return rep, errors.Join(errs...)
 }
 
 // errNoCopy marks a key whose every copy-holder is dead: data loss the
@@ -641,6 +907,30 @@ func (c *Cluster) reconcileKey(ctx context.Context, key string) (moved bool, byt
 		}
 	}
 	c.mu.RUnlock()
+
+	if ent.deleting {
+		// Recorded delete intent without completion (a crashed router or
+		// a failed DeleteCtx): finish the delete rather than re-replicate
+		// a half-dead object.
+		var errs []error
+		if srcPrimary != nil {
+			if derr := srcPrimary.DeleteCtx(ctx, ent.account, ent.name); derr != nil && !errors.Is(derr, metadata.ErrNotFound) {
+				errs = append(errs, fmt.Errorf("primary %s: %w", ent.primary, derr))
+			}
+		}
+		if srcReplica != nil {
+			if derr := srcReplica.DeleteCtx(ctx, replicaPrefix+ent.account, ent.name); derr != nil && !errors.Is(derr, metadata.ErrNotFound) {
+				errs = append(errs, fmt.Errorf("replica %s: %w", ent.replica, derr))
+			}
+		}
+		if len(errs) > 0 {
+			return false, 0, errors.Join(errs...)
+		}
+		c.mu.Lock()
+		delete(c.dir, key)
+		c.mu.Unlock()
+		return false, 0, c.logAppend(faults.OpClusterDelete, &persist.RecDirDelete{Account: ent.account, Name: ent.name})
+	}
 
 	if len(targets) == 0 {
 		return false, 0, ErrNoLibraries
@@ -722,6 +1012,14 @@ func (c *Cluster) reconcileKey(ctx context.Context, key string) (moved bool, byt
 		cur.pEpoch, cur.rEpoch = dstEpoch[wantPrimary], dstEpoch[wantReplica]
 	}
 	c.mu.Unlock()
+	if err := c.logAppend(faults.OpClusterPlace, &persist.RecDirPlace{
+		Account: ent.account, Name: ent.name,
+		Primary: wantPrimary, Replica: wantReplica,
+		PEpoch: dstEpoch[wantPrimary], REpoch: dstEpoch[wantReplica],
+		Version: version, Size: ent.size,
+	}); err != nil {
+		return moved, bytes, err
+	}
 	return moved, bytes, nil
 }
 
@@ -733,8 +1031,18 @@ func (c *Cluster) Keys() int {
 }
 
 // Close shuts every live member down. Each local gateway drains its
-// queues and flushes its staging tier.
+// queues and flushes its staging tier. With persistence enabled, the
+// final snapshot is taken FIRST — while the membership still reflects
+// reality — so a graceful shutdown never recovers as a cluster of
+// corpses; only then are members closed and the log released.
 func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	var perr error
+	if c.plog != nil && !c.plog.Crashed() {
+		perr = c.persistSnapshot()
+	}
 	c.mu.Lock()
 	libs := make([]Library, 0, len(c.members))
 	for _, m := range c.members {
@@ -755,7 +1063,10 @@ func (c *Cluster) Close() error {
 		}(i, lib)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if c.plog != nil {
+		errs = append(errs, c.plog.Close())
+	}
+	return errors.Join(append(errs, perr)...)
 }
 
 // LibraryStatus is one member's row in the /v1/cluster payload.
@@ -772,16 +1083,18 @@ type LibraryStatus struct {
 // Status is the GET /v1/cluster payload: ring ownership plus
 // per-library serving state and redundancy-placement accounting.
 type Status struct {
-	RingVersion  uint64          `json:"ring_version"`
-	VNodes       int             `json:"vnodes_per_library"`
-	Seed         uint64          `json:"seed"`
-	Keys         int             `json:"keys"`
-	Replicated   int             `json:"replicated_keys"`  // keys with a live redundancy copy
-	Unprotected  int             `json:"unprotected_keys"` // keys with exactly one live copy
-	RebuildReads int64           `json:"rebuild_reads"`    // cross-library redundancy reads
-	MovedKeys    int64           `json:"rebalance_moved_keys"`
-	MovedBytes   int64           `json:"rebalance_moved_bytes"`
-	Libraries    []LibraryStatus `json:"libraries"`
+	RingVersion     uint64          `json:"ring_version"`
+	VNodes          int             `json:"vnodes_per_library"`
+	Seed            uint64          `json:"seed"`
+	Keys            int             `json:"keys"`
+	Replicated      int             `json:"replicated_keys"`  // keys with a live redundancy copy
+	Unprotected     int             `json:"unprotected_keys"` // keys with exactly one live copy
+	RebuildReads    int64           `json:"rebuild_reads"`    // cross-library redundancy reads
+	MovedKeys       int64           `json:"rebalance_moved_keys"`
+	MovedBytes      int64           `json:"rebalance_moved_bytes"`
+	RebalanceErrors int64           `json:"rebalance_errors"` // per-key rebalance failures, cumulative
+	Persist         bool            `json:"persist"`          // router directory is durable
+	Libraries       []LibraryStatus `json:"libraries"`
 }
 
 // Status assembles the cluster snapshot. Per-library State() may call
@@ -838,6 +1151,8 @@ func (c *Cluster) Status() Status {
 	st.RebuildReads = c.cm.rebuildReads.Value()
 	st.MovedKeys = c.cm.movedKeys.Value()
 	st.MovedBytes = c.cm.movedBytes.Value()
+	st.RebalanceErrors = c.cm.rebalanceErrors.Value()
+	st.Persist = c.plog != nil
 	for i, lib := range libs {
 		if lib != nil {
 			rows[i].State = lib.State()

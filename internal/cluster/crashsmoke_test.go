@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"silica/internal/gateway"
+	"silica/internal/sim"
+)
+
+// TestCrashSmokeClusterRouter is the out-of-process router crash
+// drill: a real silicad -cluster 3 -persist-dir process with a kill
+// rule on the placement-record append (exit 137 mid-Put, mirroring
+// kill -9 of the router), HTTP load acking writes up to the kill, then
+// a restart from the same directory that must serve every acknowledged
+// write byte-exact — directory, membership, and shard contents all
+// recovered — and shut down gracefully.
+//
+// Gated behind SILICA_CRASH_SMOKE like the gateway variant (run via
+// `make cluster-crash`; CI has a dedicated job).
+func TestCrashSmokeClusterRouter(t *testing.T) {
+	if os.Getenv("SILICA_CRASH_SMOKE") == "" {
+		t.Skip("set SILICA_CRASH_SMOKE=1 (or run `make cluster-crash`) to run the router crash smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "silicad")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/silicad")
+	build.Dir = "../.." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building silicad: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// Run 1: armed kill point on the router's placement append — the
+	// 41st RecDirPlace exits the process before that put can ack.
+	cmd := exec.Command(bin,
+		"-listen", addr, "-cluster", "3", "-persist-dir", dir, "-no-repair",
+		"-flush-age", "300ms", "-flush-interval", "50ms",
+		"-fault", "kill@cluster.place:after=40,count=1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+
+	c := gateway.NewClient("http://" + addr)
+	waitRouterHealthy(t, c, exited)
+
+	acked := make(map[string][]byte)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(900 + w))
+			for i := 0; ; i++ {
+				select {
+				case <-exited:
+					exited <- nil // restore for the main goroutine
+					return
+				default:
+				}
+				name := fmt.Sprintf("s%d-f%d", w, i)
+				data := make([]byte, 1024+int(rng.Uint64()%2048))
+				for j := range data {
+					data[j] = byte(rng.Uint64())
+				}
+				if _, err := c.Put("acct", name, data); err == nil {
+					mu.Lock()
+					acked[name] = data
+					mu.Unlock()
+				} else {
+					return // router gone (or dying): stop loading
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(w)
+	}
+	select {
+	case err := <-exited:
+		exited <- err
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("silicad did not hit the router kill point within 60s")
+	}
+	wg.Wait()
+	if code := cmd.ProcessState.ExitCode(); code != 137 {
+		t.Fatalf("silicad exit code %d, want 137 (router kill point)", code)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no writes acknowledged before the router crash")
+	}
+	t.Logf("router crash after %d acked writes; restarting from %s", len(acked), dir)
+
+	// Run 2: recover directory + membership + shards, audit, shut down.
+	cmd2 := exec.Command(bin, "-listen", addr, "-cluster", "3", "-persist-dir", dir, "-no-repair")
+	cmd2.Stdout = os.Stderr
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited2 := make(chan error, 1)
+	go func() { exited2 <- cmd2.Wait() }()
+	waitRouterHealthy(t, c, exited2)
+
+	for name, want := range acked {
+		got, err := c.Get("acct", name)
+		if err != nil {
+			t.Fatalf("acked write %q lost across router kill -9: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("acked write %q not byte-exact after restart (%d vs %d bytes)",
+				name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("acked write %q differs at byte %d after restart", name, i)
+			}
+		}
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited2:
+		if code := cmd2.ProcessState.ExitCode(); code != 0 {
+			t.Fatalf("graceful shutdown exit code %d", code)
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd2.Process.Kill()
+		t.Fatal("silicad did not shut down gracefully within 60s")
+	}
+}
+
+// waitRouterHealthy polls /v1/healthz until the router answers
+// (degraded counts as up), failing fast if the process exits first.
+func waitRouterHealthy(t *testing.T, c *gateway.Client, exited chan error) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			exited <- err
+			t.Fatalf("silicad exited while waiting for health: %v", err)
+		default:
+		}
+		if _, err := c.Healthz(); err == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("silicad (cluster router) never became healthy")
+}

@@ -153,9 +153,23 @@ func (c *Cluster) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.Status())
 }
 
+// handleRebalance runs a reconcile pass. ?workers=N overrides the
+// configured parallelism. Per-key failures do not fail the request —
+// they are the report's Errors/ErrorSamples fields, which is the whole
+// point of aggregating them — so an error status is reserved for
+// failures the report cannot express (cancellation, no members).
 func (c *Cluster) handleRebalance(w http.ResponseWriter, r *http.Request) {
-	rep, err := c.Rebalance(r.Context())
-	if err != nil {
+	workers := 0
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "workers: need a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		workers = n
+	}
+	rep, err := c.RebalanceN(r.Context(), workers)
+	if err != nil && (rep.Errors == 0 || r.Context().Err() != nil) {
 		c.writeErr(w, err)
 		return
 	}

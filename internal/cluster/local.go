@@ -23,6 +23,8 @@ type LocalConfig struct {
 	Gateway gateway.Config
 	// PersistDir, when set, roots per-shard durability directories
 	// (PersistDir/lib-<i>); Gateway.Service.PersistDir is overridden.
+	// The router's own log lands in PersistDir/router unless
+	// Cluster.PersistDir names one explicitly.
 	PersistDir string
 }
 
@@ -37,11 +39,19 @@ func NewLocal(lc LocalConfig) (*Cluster, error) {
 	if lc.Libraries < 1 {
 		return nil, fmt.Errorf("cluster: need at least one library, got %d", lc.Libraries)
 	}
-	c := New(lc.Cluster)
+	ccfg := lc.Cluster
+	if ccfg.PersistDir == "" && lc.PersistDir != "" {
+		ccfg.PersistDir = RouterPersistDir(lc.PersistDir)
+	}
+	c, err := New(ccfg)
+	if err != nil {
+		return nil, err
+	}
 	indexOf := make(map[string]int, lc.Libraries)
 	for i := 0; i < lc.Libraries; i++ {
 		indexOf[libName(i)] = i
 	}
+	recovered := c.Libraries() // liveness of members replayed from the router log
 	build := func(name string, wipe bool) (Library, error) {
 		i, ok := indexOf[name]
 		if !ok {
@@ -69,12 +79,19 @@ func NewLocal(lc LocalConfig) (*Cluster, error) {
 		return LocalLibrary{G: g}, nil
 	}
 	for i := 0; i < lc.Libraries; i++ {
-		lib, err := build(libName(i), false)
+		name := libName(i)
+		if alive, ok := recovered[name]; ok && !alive {
+			// The router log says this member was killed: leave it dead
+			// (its epoch pins the old copies as gone) until an explicit
+			// RebuildLibrary revives it with a wiped, epoch-bumped shard.
+			continue
+		}
+		lib, err := build(name, false)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		if err := c.AddLibrary(libName(i), lib); err != nil {
+		if err := c.AddLibrary(name, lib); err != nil {
 			lib.Close()
 			c.Close()
 			return nil, err
@@ -91,14 +108,21 @@ func NewRemote(cfg Config, urls []string) (*Cluster, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("cluster: need at least one peer URL")
 	}
-	c := New(cfg)
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	recovered := c.Libraries()
 	for _, u := range urls {
+		if alive, ok := recovered[u]; ok && !alive {
+			continue // killed before the restart; revive via RebuildLibrary
+		}
 		cl := gateway.NewClient(u)
 		pol := gateway.DefaultRetryPolicy()
 		pol.Seed = cfg.Seed ^ hash64(cfg.Seed, u)
 		cl.Retry = pol
 		cl.Instrument(c.reg)
-		if err := c.AddLibrary(u, RemoteLibrary{C: cl}); err != nil {
+		if err := c.AddLibrary(u, NewRemoteLibrary(cl)); err != nil {
 			return nil, err
 		}
 	}

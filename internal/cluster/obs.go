@@ -10,12 +10,13 @@ import (
 // counters are cached per (library, class) so the hot path is one map
 // load + one atomic add.
 type clusterMetrics struct {
-	reg          *obs.Registry
-	routedCache  sync.Map // "lib\x00class" -> *obs.Counter
-	rebuildReads *obs.Counter
-	movedKeys    *obs.Counter
-	movedBytes   *obs.Counter
-	kills        *obs.Counter
+	reg             *obs.Registry
+	routedCache     sync.Map // "lib\x00class" -> *obs.Counter
+	rebuildReads    *obs.Counter
+	movedKeys       *obs.Counter
+	movedBytes      *obs.Counter
+	rebalanceErrors *obs.Counter
+	kills           *obs.Counter
 }
 
 func newClusterMetrics(reg *obs.Registry, c *Cluster) *clusterMetrics {
@@ -27,6 +28,8 @@ func newClusterMetrics(reg *obs.Registry, c *Cluster) *clusterMetrics {
 			"Keys migrated by rebalance/rebuild passes."),
 		movedBytes: reg.Counter("silica_cluster_rebalance_moved_bytes_total",
 			"Bytes copied between libraries by rebalance/rebuild passes."),
+		rebalanceErrors: reg.Counter("silica_cluster_rebalance_errors_total",
+			"Per-key failures across rebalance/rebuild passes (each failed key counts once per pass)."),
 		kills: reg.Counter("silica_cluster_library_kills_total",
 			"Whole-library failures injected via KillLibrary."),
 	}

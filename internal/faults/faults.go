@@ -47,6 +47,9 @@ const (
 	OpPublishPlatter = "publish.platter" // publish of one verified platter (kill points land mid-publish)
 	OpPersistAppend  = "persist.append"  // one WAL record append, pre-ack (bytes = the framed record)
 	OpPersistSync    = "persist.sync"    // one WAL fsync batch
+	OpClusterPlace   = "cluster.place"   // router directory placement record, post-mutate pre-ack
+	OpClusterDelete  = "cluster.delete"  // router delete intent/completion record, pre-ack
+	OpClusterMember  = "cluster.member"  // router membership record (add/kill/rebuild/drain)
 )
 
 // Failure modes.
@@ -541,6 +544,7 @@ func Ops() []string {
 		OpMediaRead, OpMediaWrite, OpStagingReserve,
 		OpFlushBatch, OpFlushBurn, OpFlushVerify, OpFlushPublish,
 		OpPublishPlatter, OpPersistAppend, OpPersistSync,
+		OpClusterPlace, OpClusterDelete, OpClusterMember,
 	}
 	sort.Strings(ops)
 	return ops

@@ -87,6 +87,20 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// CloseIdle releases the client's idle pooled connections. The
+// transport is shared process-wide, so this reaps idle connections to
+// every peer, not just this client's — the right semantics for "the
+// router is done with its members": anything still in flight finishes,
+// nothing idle lingers holding a port.
+func (c *Client) CloseIdle() {
+	if c.HTTP == nil {
+		return
+	}
+	if t, ok := c.HTTP.Transport.(interface{ CloseIdleConnections() }); ok && t != nil {
+		t.CloseIdleConnections()
+	}
+}
+
 // RetryPolicy shapes the client's backoff on retryable rejections.
 type RetryPolicy struct {
 	// MaxRetries bounds re-attempts after the first try (so a request

@@ -211,7 +211,10 @@ func Open(opts Options) (*Log, *State, error) {
 
 	// Newest snapshot that decodes; older ones are fallbacks against a
 	// snapshot torn by disk damage (atomic writes rule out torn renames,
-	// not bit rot).
+	// not bit rot). If snapshots exist but none decodes as a service
+	// snapshot, this is some other directory (a router's, say, or one
+	// damaged beyond its WAL horizon) — refuse rather than silently
+	// start empty and clobber it.
 	var snap *SnapshotData
 	var snapCut uint64
 	for i := len(listing.snaps) - 1; i >= 0; i-- {
@@ -230,6 +233,9 @@ func Open(opts Options) (*Log, *State, error) {
 		snap, snapCut = s, cut
 		break
 	}
+	if snap == nil && len(listing.snaps) > 0 {
+		return nil, nil, fmt.Errorf("persist: %s holds snapshots but none decodes as service state", opts.Dir)
+	}
 
 	// Replay. WAL files are scanned in startLSN order; a file entirely
 	// superseded by the snapshot (its successor starts at or below
@@ -242,7 +248,7 @@ func Open(opts Options) (*Log, *State, error) {
 		if i+1 < len(listing.wals) && listing.wals[i+1] <= snapCut+1 {
 			continue
 		}
-		frames, _, tornAt, serr := scanWAL(filepath.Join(opts.Dir, walName(start)))
+		frames, _, tornAt, serr := scanWAL(filepath.Join(opts.Dir, walName(start)), newRecord)
 		if serr != nil {
 			// Not a WAL at all — treat like a torn tail: stop replay
 			// here rather than silently skip acknowledged history.
@@ -441,7 +447,16 @@ func (l *Log) CommitSnapshot(cut uint64, data *SnapshotData) error {
 		return ErrCrashed
 	}
 	data.Fingerprint = l.fingerprint
-	buf := encodeSnapshot(cut, data)
+	return l.commitSnapshotBytes(cut, encodeSnapshot(cut, data))
+}
+
+// commitSnapshotBytes installs pre-encoded snapshot bytes for cut and
+// garbage-collects superseded files — the domain-independent half of
+// CommitSnapshot, shared with the router log's snapshot format.
+func (l *Log) commitSnapshotBytes(cut uint64, buf []byte) error {
+	if l.frozen.Load() {
+		return ErrCrashed
+	}
 	err := atomicWriteFile(filepath.Join(l.dir, snapName(cut)), func(w io.Writer) error {
 		_, werr := w.Write(buf)
 		return werr

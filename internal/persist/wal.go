@@ -59,12 +59,14 @@ func writeWALHeader(f *os.File, startLSN uint64) error {
 	return err
 }
 
-// scanWAL reads every intact frame of one log file. It returns the
-// frames up to the first torn or corrupt one; tornAt reports the byte
-// offset of the damage (-1 when the file ends cleanly). Damage is
-// never an error — it is the expected shape of a crash mid-append —
-// but a bad header is: that file was never a log.
-func scanWAL(path string) (frames []walFrame, startLSN uint64, tornAt int64, err error) {
+// scanWAL reads every intact frame of one log file, decoding record
+// bodies through newRec (each WAL domain — service, cluster router —
+// has its own tag space and factory). It returns the frames up to the
+// first torn or corrupt one; tornAt reports the byte offset of the
+// damage (-1 when the file ends cleanly). Damage is never an error —
+// it is the expected shape of a crash mid-append — but a bad header
+// is: that file was never a log.
+func scanWAL(path string, newRec func(byte) (Record, error)) (frames []walFrame, startLSN uint64, tornAt int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, -1, err
@@ -92,7 +94,7 @@ func scanWAL(path string) (frames []walFrame, startLSN uint64, tornAt int64, err
 			return frames, startLSN, off, nil // corrupt frame
 		}
 		lsn := binary.LittleEndian.Uint64(payload)
-		rec, rerr := newRecord(payload[8])
+		rec, rerr := newRec(payload[8])
 		if rerr != nil {
 			return frames, startLSN, off, nil // unknown tag: treat as corrupt
 		}
